@@ -1,0 +1,241 @@
+package sgxnet_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus the ablation benches DESIGN.md calls out. Each
+// iteration regenerates the corresponding experiment end to end, so
+// ns/op is the cost of reproducing that artifact; the experiment's own
+// result (instruction tallies) is reported through custom metrics.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"sgxnet/internal/eval"
+	"sgxnet/internal/topo"
+	"sgxnet/internal/tor"
+
+	"sgxnet/internal/bgp"
+	"sgxnet/internal/sdnctl"
+)
+
+// BenchmarkTable1RemoteAttestation regenerates Table 1 (remote
+// attestation instruction counts, with and without DH).
+func BenchmarkTable1RemoteAttestation(b *testing.B) {
+	for _, dh := range []struct {
+		name string
+		dh   bool
+	}{{"noDH", false}, {"DH", true}} {
+		b.Run(dh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var lastTarget uint64
+			for i := 0; i < b.N; i++ {
+				rows, err := eval.Table1()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					if r.Role == "target" && r.WithDH == dh.dh {
+						lastTarget = r.Tally.Normal
+					}
+				}
+			}
+			b.ReportMetric(float64(lastTarget), "target-normal-inst")
+		})
+	}
+}
+
+// BenchmarkTable2PacketIO regenerates Table 2 (enclave packet I/O).
+func BenchmarkTable2PacketIO(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		n      int
+		crypto bool
+	}{
+		{"1pkt-plain", 1, false},
+		{"1pkt-crypto", 1, true},
+		{"100pkt-plain", 100, false},
+		{"100pkt-crypto", 100, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var last uint64
+			for i := 0; i < b.N; i++ {
+				t, err := eval.MeasureSend(cfg.n, cfg.crypto)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = t.Normal
+			}
+			b.ReportMetric(float64(last), "normal-inst")
+		})
+	}
+}
+
+// BenchmarkTable3AttestationCounts regenerates Table 3 (attestations per
+// design).
+func BenchmarkTable3AttestationCounts(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkTable4InterDomain regenerates Table 4 (30-AS SDN routing,
+// native and SGX).
+func BenchmarkTable4InterDomain(b *testing.B) {
+	tp, err := topo.Random(topo.Config{N: 30, Seed: eval.CanonicalSeed, PrefJitter: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("native", func(b *testing.B) {
+		b.ReportAllocs()
+		var last uint64
+		for i := 0; i < b.N; i++ {
+			rep, err := sdnctl.RunNative(tp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = rep.InterDomain.Normal
+		}
+		b.ReportMetric(float64(last), "normal-inst")
+	})
+	b.Run("sgx", func(b *testing.B) {
+		b.ReportAllocs()
+		var last uint64
+		for i := 0; i < b.N; i++ {
+			rep, err := sdnctl.RunSGX(tp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = rep.InterDomain.Normal
+		}
+		b.ReportMetric(float64(last), "normal-inst")
+	})
+}
+
+// BenchmarkFigure3Scaling regenerates the Figure 3 sweep (a short one:
+// the full 5–50 sweep runs via cmd/sgxnet-tables -fig 3).
+func BenchmarkFigure3Scaling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, err := eval.Figure3([]int{5, 15, 25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 3 {
+			b.Fatal("missing points")
+		}
+	}
+}
+
+// BenchmarkAblationBatching sweeps enclave I/O batch sizes.
+func BenchmarkAblationBatching(b *testing.B) {
+	b.ReportAllocs()
+	var perPkt uint64
+	for i := 0; i < b.N; i++ {
+		pts, err := eval.AblationBatchSweep([]int{1, 10, 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		perPkt = pts[len(pts)-1].PerPacket
+	}
+	b.ReportMetric(float64(perPkt), "batched-normal-inst/pkt")
+}
+
+// BenchmarkAblationSMPC runs the GMW private route comparison — the
+// expensive alternative the SGX design replaces (§3.1).
+func BenchmarkAblationSMPC(b *testing.B) {
+	b.ReportAllocs()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		c, err := eval.AblationSMPC()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = c.CostRatio
+	}
+	b.ReportMetric(ratio, "smpc-vs-sgx-ratio")
+}
+
+// BenchmarkAblationDHTLookup measures directory-less membership lookups.
+func BenchmarkAblationDHTLookup(b *testing.B) {
+	b.ReportAllocs()
+	var hops float64
+	for i := 0; i < b.N; i++ {
+		pts, err := eval.AblationDHTLookups([]int{64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hops = pts[0].AvgHops
+	}
+	b.ReportMetric(hops, "avg-hops")
+}
+
+// BenchmarkAblationTorCircuit measures end-to-end circuit build + fetch
+// through each deployment mode.
+func BenchmarkAblationTorCircuit(b *testing.B) {
+	for _, mode := range []tor.DeployMode{tor.ModeBaseline, tor.ModeSGXORs} {
+		b.Run(mode.String(), func(b *testing.B) {
+			tn, err := tor.Deploy(tor.NetworkConfig{Mode: mode, Authorities: 3, Relays: 3, Exits: 2, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			client, err := tn.NewClient("bench-client", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			consensus, err := tn.Discover(client)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				path, err := client.PickPath(consensus, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				circ, err := client.BuildCircuit(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := circ.Get(tor.WebHost+"|"+tor.WebService, []byte("bench")); err != nil {
+					b.Fatal(err)
+				}
+				circ.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRouteCompute isolates the centralized path
+// computation from the deployment costs.
+func BenchmarkAblationRouteCompute(b *testing.B) {
+	for _, n := range []int{10, 30, 50} {
+		b.Run(bname(n), func(b *testing.B) {
+			tp, err := topo.Random(topo.Config{N: n, Seed: eval.CanonicalSeed, PrefJitter: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var updates int
+			for i := 0; i < b.N; i++ {
+				_, st := bgp.ComputeAll(tp)
+				updates = st.Updates
+			}
+			b.ReportMetric(float64(updates), "route-updates")
+		})
+	}
+}
+
+func bname(n int) string {
+	return "n=" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

@@ -1,0 +1,105 @@
+// Command sgxnet-tables regenerates the tables and figures of the
+// paper's evaluation (§5) plus the ablations.
+//
+// Usage:
+//
+//	sgxnet-tables              # everything
+//	sgxnet-tables -table 1     # one table (1–4)
+//	sgxnet-tables -fig 3       # Figure 3 sweep
+//	sgxnet-tables -ablations   # ablation experiments only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sgxnet/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sgxnet-tables: ")
+	table := flag.Int("table", 0, "regenerate one table (1-4); 0 = all")
+	fig := flag.Int("fig", 0, "regenerate one figure (3); 0 = all")
+	ablations := flag.Bool("ablations", false, "run only the ablation experiments")
+	csv := flag.Bool("csv", false, "emit Figure 3 as CSV (for plotting) instead of the text chart")
+	flag.Parse()
+
+	w := os.Stdout
+	all := *table == 0 && *fig == 0 && !*ablations
+
+	if *table == 1 || all {
+		rows, err := eval.Table1()
+		if err != nil {
+			log.Fatalf("table 1: %v", err)
+		}
+		eval.RenderTable1(w, rows)
+		fmt.Fprintln(w)
+	}
+	if *table == 2 || all {
+		rows, err := eval.Table2()
+		if err != nil {
+			log.Fatalf("table 2: %v", err)
+		}
+		eval.RenderTable2(w, rows)
+		fmt.Fprintln(w)
+	}
+	if *table == 3 || all {
+		rows, err := eval.Table3()
+		if err != nil {
+			log.Fatalf("table 3: %v", err)
+		}
+		eval.RenderTable3(w, rows)
+		fmt.Fprintln(w)
+	}
+	if *table == 4 || all {
+		r, err := eval.Table4()
+		if err != nil {
+			log.Fatalf("table 4: %v", err)
+		}
+		eval.RenderTable4(w, r)
+		fmt.Fprintln(w)
+	}
+	if *fig == 3 || all {
+		pts, err := eval.Figure3(nil)
+		if err != nil {
+			log.Fatalf("figure 3: %v", err)
+		}
+		if *csv {
+			fmt.Fprintln(w, "ases,native_cycles,sgx_cycles")
+			for _, p := range pts {
+				fmt.Fprintf(w, "%d,%d,%d\n", p.N, p.NativeCycles, p.SGXCycles)
+			}
+		} else {
+			eval.RenderFigure3(w, pts)
+		}
+		fmt.Fprintln(w)
+	}
+	if *ablations || all {
+		bpts, err := eval.AblationBatchSweep(nil)
+		if err != nil {
+			log.Fatalf("batch ablation: %v", err)
+		}
+		eval.RenderBatchSweep(w, bpts)
+		fmt.Fprintln(w)
+		sc, err := eval.AblationSMPC()
+		if err != nil {
+			log.Fatalf("smpc ablation: %v", err)
+		}
+		eval.RenderSMPC(w, sc)
+		fmt.Fprintln(w)
+		dpts, err := eval.AblationDHTLookups(nil)
+		if err != nil {
+			log.Fatalf("dht ablation: %v", err)
+		}
+		eval.RenderDHTSweep(w, dpts)
+		fmt.Fprintln(w)
+		mc, err := eval.AblationMiddleboxApproaches()
+		if err != nil {
+			log.Fatalf("middlebox ablation: %v", err)
+		}
+		eval.RenderMboxApproaches(w, mc)
+	}
+}

@@ -1,0 +1,3 @@
+module sgxnet
+
+go 1.22

@@ -1,0 +1,184 @@
+package attest
+
+import (
+	"fmt"
+	"sync"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/netsim"
+	"sgxnet/internal/sgxcrypto"
+)
+
+// QuoteService is the netsim service name the quoting enclave's untrusted
+// runtime listens on. Attestation targets dial it on their own host.
+const QuoteService = "sgx.quote"
+
+// quotingVersion participates in the quoting enclave's measurement.
+const quotingVersion = "1.0"
+
+// msgQuoteResp carries message 3 of Figure 1: the QUOTE plus the quoting
+// enclave's own REPORT targeted at the requesting enclave (the mutual
+// direction of intra-attestation, §2.2).
+type msgQuoteResp struct {
+	Quote   Quote
+	ReportQ []byte
+}
+
+// quotingProgram builds the quoting enclave program. The handler executes
+// the per-request ENCLU trace of Table 1's "Quoting" column: one EENTER,
+// six message OCALLs (hello/hello-ack framing, REPORT in, QUOTE out,
+// done/bye teardown), EGETKEY to verify the inbound REPORT, EGETKEY to
+// unseal the platform attestation key blob, EREPORT for the mutual
+// report, and the closing EEXIT — 17 SGX(U) instructions.
+func quotingProgram() *core.Program {
+	return &core.Program{
+		Name:    "sgx-quoting-enclave",
+		Version: quotingVersion,
+		Handlers: map[string]core.Handler{
+			// serve handles one quote request on an adopted connection.
+			// arg: 4-byte connID.
+			"serve": func(env *core.Env, arg []byte) ([]byte, error) {
+				start := env.Meter().Snapshot()
+				if _, err := env.OCall("msg.recv", arg); err != nil { // hello
+					return nil, err
+				}
+				if _, err := env.OCall("msg.send", netsim.EncodeSend(connID(arg), []byte("qe-hello"))); err != nil {
+					return nil, err
+				}
+				raw, err := env.OCall("msg.recv", arg) // REPORT_T
+				if err != nil {
+					return nil, err
+				}
+				rep, ok := core.UnmarshalReport(raw)
+				if !ok {
+					return nil, fmt.Errorf("attest: quoting: malformed report")
+				}
+				if !env.VerifyReport(rep) { // EGETKEY + MAC check
+					// Intra-attestation failed: the reporter is not a
+					// genuine enclave on this platform.
+					return nil, fmt.Errorf("attest: quoting: report verification failed")
+				}
+				// Unseal the attestation key blob (EGETKEY), then obtain
+				// the key — hardware refuses non-architectural callers.
+				if _, err := env.GetKey(core.KeySealEnclave); err != nil {
+					return nil, err
+				}
+				priv, err := env.AttestationKey()
+				if err != nil {
+					return nil, err
+				}
+				q := Quote{
+					Identity: Identity{
+						MREnclave: rep.MREnclave,
+						MRSigner:  rep.MRSigner,
+						Debug:     rep.Attributes.Debug,
+					},
+					Data:        rep.Data,
+					PlatformPub: env.Enclave().Platform().AttestationPublicKey(),
+				}
+				q.Sig = sgxcrypto.Sign(env.Meter(), priv, q.signedBody())
+				// Mutual intra-attestation: report back at the requester.
+				repQ := env.EReport(core.TargetInfo{Measurement: rep.MREnclave}, rep.Data)
+				resp, err := encode(msgQuoteResp{Quote: q, ReportQ: repQ.Marshal()})
+				if err != nil {
+					return nil, err
+				}
+				if _, err := env.OCall("msg.send", netsim.EncodeSend(connID(arg), resp)); err != nil {
+					return nil, err
+				}
+				if _, err := env.OCall("msg.recv", arg); err != nil { // done
+					return nil, err
+				}
+				if _, err := env.OCall("msg.send", netsim.EncodeSend(connID(arg), []byte("qe-bye"))); err != nil {
+					return nil, err
+				}
+				topUp(env.Meter(), start, core.CostAttestQuotingBase)
+				return nil, nil
+			},
+		},
+	}
+}
+
+func connID(arg []byte) uint32 {
+	return uint32(arg[0]) | uint32(arg[1])<<8 | uint32(arg[2])<<16 | uint32(arg[3])<<24
+}
+
+// topUp charges the residual protocol-skeleton instructions so the role's
+// normal-instruction total since start matches the calibrated base (plus
+// whatever metered crypto already charged beyond it — DH costs land on
+// top of the base, exactly as in Table 1).
+func topUp(m *core.Meter, start core.Tally, base uint64) {
+	spent := m.Snapshot().Sub(start).Normal
+	if spent < base {
+		m.ChargeNormal(base - spent)
+	}
+}
+
+// Agent is a host's attestation runtime: the launched quoting enclave and
+// the untrusted service loop that feeds it quote requests.
+type Agent struct {
+	Host *netsim.SimHost
+	QE   *core.Enclave
+
+	shim *netsim.IOShim
+	l    *netsim.Listener
+}
+
+// NewAgent launches the quoting enclave on the host (its platform must
+// have been created with the architectural signer) and starts serving
+// QuoteService.
+func NewAgent(host *netsim.SimHost, archSigner *core.Signer) (*Agent, error) {
+	qe, err := host.Platform().Launch(quotingProgram(), archSigner)
+	if err != nil {
+		return nil, fmt.Errorf("attest: launching quoting enclave: %w", err)
+	}
+	if !qe.Attrs().Architectural {
+		qe.Destroy()
+		return nil, fmt.Errorf("attest: quoting enclave not architectural — platform ArchSigner mismatch")
+	}
+	shim := netsim.NewMsgShim(host, qe.Meter())
+	var mh netsim.MultiHost
+	mh.Mount("msg.", shim)
+	qe.BindHost(&mh)
+	l, err := host.Listen(QuoteService)
+	if err != nil {
+		qe.Destroy()
+		return nil, err
+	}
+	a := &Agent{Host: host, QE: qe, shim: shim, l: l}
+	go l.Serve(a.serveConn)
+	return a, nil
+}
+
+func (a *Agent) serveConn(c *netsim.Conn) {
+	defer c.Close()
+	id := a.shim.Adopt(c)
+	arg := netsim.EncodeSend(id, nil)
+	if _, err := a.QE.Call("serve", arg); err != nil {
+		// Refused (e.g. forged report): the requester sees the closed
+		// connection. Denial is always in the host's power; wrong quotes
+		// are not.
+		return
+	}
+}
+
+// Close stops the agent and destroys the quoting enclave.
+func (a *Agent) Close() {
+	a.l.Close()
+	a.QE.Destroy()
+}
+
+var (
+	quotingMROnce sync.Once
+	quotingMR     core.Measurement
+)
+
+// QuotingMeasurement returns the well-known measurement of the quoting
+// enclave ("a specially provisioned enclave ... whose identity is
+// well-known", §2.2). Targets use it to direct their REPORTs.
+func QuotingMeasurement() core.Measurement {
+	quotingMROnce.Do(func() {
+		quotingMR = core.MeasureProgram(quotingProgram())
+	})
+	return quotingMR
+}

@@ -1,0 +1,89 @@
+package attest
+
+import (
+	"errors"
+	"sync"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/sgxcrypto"
+)
+
+// A Session is the outcome of a successful remote attestation: the peer's
+// attested identity and, when Diffie-Hellman was exchanged, the secure
+// channel bootstrapped from the shared secret. Sessions live inside the
+// enclave that ran the protocol.
+type Session struct {
+	Peer    Identity
+	Secret  [32]byte
+	Channel *sgxcrypto.Channel // nil when attestation ran without DH
+}
+
+// SessionTable tracks sessions by the connection they were established
+// on. It is embedded in both protocol states.
+type SessionTable struct {
+	mu sync.Mutex
+	m  map[uint32]*Session
+}
+
+// ErrNoSession is returned for connections without an attested session.
+var ErrNoSession = errors.New("attest: no attested session on this connection")
+
+// ErrNoChannel is returned when a session was established without DH and
+// therefore has no secure channel.
+var ErrNoChannel = errors.New("attest: session has no secure channel (attested without DH)")
+
+func (t *SessionTable) put(connID uint32, s *Session) {
+	t.mu.Lock()
+	if t.m == nil {
+		t.m = make(map[uint32]*Session)
+	}
+	t.m[connID] = s
+	t.mu.Unlock()
+}
+
+// Session returns the session established on a connection.
+func (t *SessionTable) Session(connID uint32) (*Session, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.m[connID]
+	return s, ok
+}
+
+// Drop forgets a session.
+func (t *SessionTable) Drop(connID uint32) {
+	t.mu.Lock()
+	delete(t.m, connID)
+	t.mu.Unlock()
+}
+
+// Count reports the number of live sessions.
+func (t *SessionTable) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// Seal encrypts a message on the session's secure channel, charging the
+// enclave meter.
+func (t *SessionTable) Seal(m *core.Meter, connID uint32, msg []byte) ([]byte, error) {
+	s, ok := t.Session(connID)
+	if !ok {
+		return nil, ErrNoSession
+	}
+	if s.Channel == nil {
+		return nil, ErrNoChannel
+	}
+	return s.Channel.Seal(m, msg)
+}
+
+// Open authenticates and decrypts a channel message.
+func (t *SessionTable) Open(m *core.Meter, connID uint32, sealed []byte) ([]byte, error) {
+	s, ok := t.Session(connID)
+	if !ok {
+		return nil, ErrNoSession
+	}
+	if s.Channel == nil {
+		return nil, ErrNoChannel
+	}
+	return s.Channel.Open(m, sealed)
+}

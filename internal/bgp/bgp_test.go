@@ -1,0 +1,257 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sgxnet/internal/topo"
+)
+
+// lineTopology builds 0—1—2—…—(n−1) with 0 as everyone's transit root:
+// each i+1 buys transit from i.
+func lineTopology(t *testing.T, n int) *topo.Topology {
+	t.Helper()
+	tp := topo.NewTopology(n)
+	for i := 0; i+1 < n; i++ {
+		// From (i+1)'s perspective, i is a provider.
+		if err := tp.AddLink(i+1, i, topo.RelProvider); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestBetterDecisionProcess(t *testing.T) {
+	hiPref := Route{Dest: 9, Path: []int{1, 2, 3}, LocalPref: 300}
+	loPref := Route{Dest: 9, Path: []int{4}, LocalPref: 100}
+	if !Better(hiPref, loPref) {
+		t.Fatal("local pref must dominate path length")
+	}
+	short := Route{Dest: 9, Path: []int{5}, LocalPref: 200}
+	long := Route{Dest: 9, Path: []int{6, 7}, LocalPref: 200}
+	if !Better(short, long) {
+		t.Fatal("shorter path must win at equal pref")
+	}
+	a := Route{Dest: 9, Path: []int{2}, LocalPref: 200}
+	b := Route{Dest: 9, Path: []int{3}, LocalPref: 200}
+	if !Better(a, b) || Better(b, a) {
+		t.Fatal("tie-break by next hop failed")
+	}
+}
+
+func TestCanExportGaoRexford(t *testing.T) {
+	fromCustomer := Route{LearnedFrom: 1, LearnedRel: topo.RelCustomer}
+	fromPeer := Route{LearnedFrom: 2, LearnedRel: topo.RelPeer}
+	fromProvider := Route{LearnedFrom: 3, LearnedRel: topo.RelProvider}
+	self := Route{LearnedFrom: SelfOrigin}
+	for _, r := range []Route{fromCustomer, fromPeer, fromProvider, self} {
+		if !CanExport(r, topo.RelCustomer) {
+			t.Fatal("everything must be exportable to customers")
+		}
+	}
+	for _, to := range []topo.Relationship{topo.RelPeer, topo.RelProvider} {
+		if !CanExport(fromCustomer, to) || !CanExport(self, to) {
+			t.Fatal("customer/self routes must be exportable upward")
+		}
+		if CanExport(fromPeer, to) || CanExport(fromProvider, to) {
+			t.Fatal("peer/provider routes must not be exportable upward")
+		}
+	}
+}
+
+func TestRouteHelpers(t *testing.T) {
+	r := Route{Dest: 5, Path: []int{1, 2, 5}, LearnedFrom: 1}
+	if r.NextHop() != 1 || r.Len() != 3 || !r.Contains(2) || r.Contains(9) {
+		t.Fatalf("helpers broken: %v", r)
+	}
+	self := Route{Dest: 7, LearnedFrom: SelfOrigin}
+	if self.NextHop() != 7 || !self.IsSelf() {
+		t.Fatal("self route helpers broken")
+	}
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+	if !r.Equal(r) || r.Equal(self) {
+		t.Fatal("Equal broken")
+	}
+}
+
+func TestComputeAllLine(t *testing.T) {
+	tp := lineTopology(t, 4)
+	ribs, st := ComputeAll(tp)
+	if !FullReach(tp, ribs) {
+		t.Fatal("line topology must be fully reachable")
+	}
+	// AS3's route to AS0 must be the chain 2,1,0.
+	r := ribs[3][0]
+	if len(r.Path) != 3 || r.Path[0] != 2 || r.Path[1] != 1 || r.Path[2] != 0 {
+		t.Fatalf("AS3→AS0 path = %v", r.Path)
+	}
+	if st.Rounds == 0 || st.Updates == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if !AllValleyFree(tp, ribs) || !LoopFree(ribs) {
+		t.Fatal("line routes invalid")
+	}
+}
+
+// TestPeerRoutesNotTransited: two ASes that peer must not provide transit
+// between their respective providers — the classic Gao–Rexford outcome.
+func TestPeerRoutesNotTransited(t *testing.T) {
+	// 0 and 1 are providers of 2 and 3 respectively; 2 and 3 peer; there
+	// is no link between 0 and 1.
+	tp := topo.NewTopology(4)
+	tp.AddLink(2, 0, topo.RelProvider)
+	tp.AddLink(3, 1, topo.RelProvider)
+	tp.AddLink(2, 3, topo.RelPeer)
+	// Graph is connected (0–2–3–1).
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ribs, _ := ComputeAll(tp)
+	// 2 reaches 1 via its peer 3 (3 exports its provider? no!). Route
+	// learned from provider 1 at AS3 must NOT be exported to peer 2, so
+	// AS2 has no route to AS1 at all.
+	if _, ok := ribs[2][1]; ok {
+		t.Fatalf("AS2 obtained a route to AS1 through a peer valley: %v", ribs[2][1])
+	}
+	if _, ok := ribs[0][1]; ok {
+		t.Fatal("AS0 obtained transit through the 2–3 peering")
+	}
+	// But 2 reaches 3 (direct peer) and 0 reaches 3 (via its customer 2's
+	// peer? no — peer routes are not exported upward either).
+	if _, ok := ribs[2][3]; !ok {
+		t.Fatal("AS2 must reach its direct peer")
+	}
+	if _, ok := ribs[0][3]; ok {
+		t.Fatal("AS0 must not reach AS3 through 2's peering (no-valley)")
+	}
+}
+
+func TestComputeAllRandomTopologies(t *testing.T) {
+	for _, n := range []int{5, 10, 30} {
+		tp, err := topo.Random(topo.Config{N: n, Seed: 42, PrefJitter: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ribs, st := ComputeAll(tp)
+		if !FullReach(tp, ribs) {
+			t.Fatalf("n=%d: not fully reachable", n)
+		}
+		if !AllValleyFree(tp, ribs) {
+			t.Fatalf("n=%d: valley detected", n)
+		}
+		if !LoopFree(ribs) {
+			t.Fatalf("n=%d: loop detected", n)
+		}
+		if st.Updates < n {
+			t.Fatalf("n=%d: implausible stats %+v", n, st)
+		}
+	}
+}
+
+// TestCentralizedMatchesDistributed is the GNS3-style validation: the
+// controller's centralized result equals the converged state of the
+// distributed protocol, for several topologies and delivery orders.
+func TestCentralizedMatchesDistributed(t *testing.T) {
+	for _, n := range []int{4, 8, 15, 30} {
+		tp, err := topo.Random(topo.Config{N: n, Seed: int64(n), PrefJitter: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		central, _ := ComputeAll(tp)
+		for _, seed := range []int64{1, 99, 2026} {
+			dist, st := SimulateDistributed(tp, seed)
+			if !RIBsEqual(central, dist) {
+				t.Fatalf("n=%d seed=%d: distributed result diverges (processed %d msgs)",
+					n, seed, st.MessagesProcessed)
+			}
+		}
+	}
+}
+
+// Property: for random small topologies and random delivery seeds, the
+// distributed simulation always converges to the centralized result.
+func TestConvergenceProperty(t *testing.T) {
+	f := func(topoSeed, deliverySeed int64, nRaw uint8) bool {
+		n := 3 + int(nRaw%12)
+		tp, err := topo.Random(topo.Config{N: n, Seed: topoSeed, PrefJitter: true})
+		if err != nil {
+			return false
+		}
+		central, _ := ComputeAll(tp)
+		dist, _ := SimulateDistributed(tp, deliverySeed)
+		return RIBsEqual(central, dist) && AllValleyFree(tp, central) && LoopFree(central)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValleyFreeDetectsValleys(t *testing.T) {
+	// 1 buys from 0 and 2: path 0←1→2 through customer 1 is a valley.
+	tp := topo.NewTopology(3)
+	tp.AddLink(1, 0, topo.RelProvider)
+	tp.AddLink(1, 2, topo.RelProvider)
+	valley := Route{Dest: 2, Path: []int{1, 2}}
+	if ValleyFree(tp, 0, valley) {
+		t.Fatal("customer valley not detected")
+	}
+	uphill := Route{Dest: 0, Path: []int{0}}
+	if !ValleyFree(tp, 1, uphill) {
+		t.Fatal("direct uphill flagged")
+	}
+	// Nonexistent link.
+	ghost := Route{Dest: 2, Path: []int{2}}
+	if ValleyFree(tp, 0, ghost) {
+		t.Fatal("path over nonexistent link accepted")
+	}
+}
+
+func TestRIBClone(t *testing.T) {
+	rib := RIB{1: Route{Dest: 1, Path: []int{2, 1}}}
+	cp := rib.Clone()
+	cp[1].Path[0] = 99
+	if rib[1].Path[0] == 99 {
+		t.Fatal("Clone shares path storage")
+	}
+}
+
+func TestRIBsEqualNegative(t *testing.T) {
+	a := map[int]RIB{0: {1: Route{Dest: 1, Path: []int{1}}}}
+	b := map[int]RIB{0: {1: Route{Dest: 1, Path: []int{2, 1}}}}
+	if RIBsEqual(a, b) {
+		t.Fatal("unequal RIBs compared equal")
+	}
+	if RIBsEqual(a, map[int]RIB{}) {
+		t.Fatal("size mismatch compared equal")
+	}
+	if !RIBsEqual(a, a) {
+		t.Fatal("identical RIBs compared unequal")
+	}
+}
+
+func BenchmarkComputeAll30(b *testing.B) {
+	tp, err := topo.Random(topo.Config{N: 30, Seed: 42, PrefJitter: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ComputeAll(tp)
+	}
+}
+
+func BenchmarkDistributed30(b *testing.B) {
+	tp, err := topo.Random(topo.Config{N: 30, Seed: 42, PrefJitter: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SimulateDistributed(tp, int64(i))
+	}
+}

@@ -1,0 +1,201 @@
+package bgp
+
+import (
+	"math/rand"
+
+	"sgxnet/internal/topo"
+)
+
+// Distributed path-vector simulator: the correctness oracle standing in
+// for the paper's GNS3 validation ("we verify the correctness of its
+// output using GNS3", §5). Each AS runs the classic BGP machinery —
+// Adj-RIB-In per neighbor, decision process, export-filtered
+// announcements and withdrawals — over an asynchronous message queue
+// whose delivery order is randomized by the seed. Convergence to the same
+// RIBs as ComputeAll, for any delivery order, is the property tests
+// assert.
+
+type simMsg struct {
+	from, to int
+	dest     int
+	route    Route // zero route = withdrawal
+	withdraw bool
+}
+
+type simNode struct {
+	id    int
+	adjIn map[int]map[int]Route // neighbor → dest → last announced route
+	rib   RIB
+}
+
+// SimStats describes a distributed run.
+type SimStats struct {
+	MessagesProcessed int
+	Announcements     int
+	Withdrawals       int
+}
+
+// SimulateDistributed runs the distributed protocol to quiescence and
+// returns the converged RIBs. Delivery is asynchronous — the scheduler
+// picks a random live session each step — but FIFO within each directed
+// session, matching BGP-over-TCP semantics (reordering *within* a session
+// would let a stale announcement overwrite a newer one, which real BGP
+// never experiences).
+func SimulateDistributed(t *topo.Topology, seed int64) (map[int]RIB, SimStats) {
+	rng := rand.New(rand.NewSource(seed))
+	n := t.N()
+	nodes := make([]*simNode, n)
+	var st SimStats
+
+	// Per-directed-session FIFO queues.
+	sessions := make(map[[2]int][]simMsg)
+	var live [][2]int // sessions with pending messages, may hold stale entries
+	push := func(m simMsg) {
+		key := [2]int{m.from, m.to}
+		if len(sessions[key]) == 0 {
+			live = append(live, key)
+		}
+		sessions[key] = append(sessions[key], m)
+	}
+
+	enqueueBest := func(a int, dest int) {
+		// Announce a's current best for dest to each neighbor, filtered
+		// by export policy; send withdrawal where not exportable.
+		node := nodes[a]
+		best, has := node.rib[dest]
+		for _, nbr := range t.Neighbors(a) {
+			relToNbr, _ := t.Rel(a, nbr)
+			if has && CanExport(best, relToNbr) && !best.Contains(nbr) && nbr != dest {
+				cp := best
+				cp.Path = append([]int(nil), best.Path...)
+				push(simMsg{from: a, to: nbr, dest: dest, route: cp})
+				st.Announcements++
+			} else {
+				push(simMsg{from: a, to: nbr, dest: dest, withdraw: true})
+				st.Withdrawals++
+			}
+		}
+	}
+
+	for a := 0; a < n; a++ {
+		nodes[a] = &simNode{
+			id:    a,
+			adjIn: make(map[int]map[int]Route),
+			rib:   RIB{a: Route{Dest: a, LearnedFrom: SelfOrigin, LocalPref: 1 << 30}},
+		}
+	}
+	for a := 0; a < n; a++ {
+		enqueueBest(a, a)
+	}
+
+	// decide recomputes node b's best route for dest from Adj-RIB-In.
+	decide := func(b int, dest int) bool {
+		node := nodes[b]
+		if dest == b {
+			return false
+		}
+		var best Route
+		have := false
+		for _, nbr := range t.Neighbors(b) {
+			in := node.adjIn[nbr]
+			if in == nil {
+				continue
+			}
+			nr, ok := in[dest]
+			if !ok {
+				continue
+			}
+			if nr.Contains(b) || nr.NextHop() == b {
+				continue
+			}
+			relToNbr, _ := t.Rel(b, nbr)
+			cand := Route{
+				Dest:        dest,
+				Path:        append([]int{nbr}, nr.Path...),
+				LocalPref:   t.LocalPref(b, nbr),
+				LearnedFrom: nbr,
+				LearnedRel:  relToNbr,
+			}
+			if !have || Better(cand, best) {
+				best, have = cand, true
+			}
+		}
+		old, had := node.rib[dest]
+		switch {
+		case have && (!had || !old.Equal(best)):
+			node.rib[dest] = best
+			return true
+		case !have && had:
+			delete(node.rib, dest)
+			return true
+		}
+		return false
+	}
+
+	for len(live) > 0 {
+		// Pick a random live session; pop its head (FIFO per session).
+		i := rng.Intn(len(live))
+		key := live[i]
+		q := sessions[key]
+		if len(q) == 0 { // stale liveness entry
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		msg := q[0]
+		sessions[key] = q[1:]
+		if len(sessions[key]) == 0 {
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		st.MessagesProcessed++
+
+		node := nodes[msg.to]
+		in := node.adjIn[msg.from]
+		if in == nil {
+			in = make(map[int]Route)
+			node.adjIn[msg.from] = in
+		}
+		if msg.withdraw {
+			if _, had := in[msg.dest]; !had {
+				continue
+			}
+			delete(in, msg.dest)
+		} else {
+			if prev, had := in[msg.dest]; had && prev.Equal(msg.route) {
+				continue
+			}
+			in[msg.dest] = msg.route
+		}
+		if decide(msg.to, msg.dest) {
+			enqueueBest(msg.to, msg.dest)
+		}
+	}
+
+	out := make(map[int]RIB, n)
+	for a := 0; a < n; a++ {
+		out[a] = nodes[a].rib
+	}
+	return out, st
+}
+
+// RIBsEqual compares two full RIB sets, ignoring fields the distributed
+// and centralized engines cannot both know (none today — full equality).
+func RIBsEqual(a, b map[int]RIB) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for as, ra := range a {
+		rb, ok := b[as]
+		if !ok || len(ra) != len(rb) {
+			return false
+		}
+		for d, x := range ra {
+			y, ok := rb[d]
+			if !ok || !x.Equal(y) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+// Package bgp implements the BGP-like inter-domain route computation the
+// paper's SDN controller performs (§5: "the inter-domain controller then
+// computes routing paths for all ASes using the rules of BGP"): routes
+// with AS paths and local preference, Gao–Rexford export policies, the
+// standard decision process, a centralized all-pairs computation, and an
+// independent distributed path-vector simulator used as the correctness
+// oracle (the role GNS3 plays in the paper).
+package bgp
+
+import (
+	"fmt"
+
+	"sgxnet/internal/topo"
+)
+
+// SelfOrigin marks a self-originated route's LearnedFrom field.
+const SelfOrigin = -1
+
+// Route is one AS's path to a destination AS.
+type Route struct {
+	// Dest is the destination AS.
+	Dest int
+	// Path is the AS path from (but excluding) the holder to Dest,
+	// inclusive; empty for a self-originated route.
+	Path []int
+	// LocalPref is the holder's preference for this route (higher wins).
+	LocalPref int
+	// LearnedFrom is the neighbor the route was learned from, or
+	// SelfOrigin.
+	LearnedFrom int
+	// LearnedRel is the holder's relationship toward LearnedFrom.
+	LearnedRel topo.Relationship
+}
+
+// Valid reports whether the route is populated (zero Route = no route).
+func (r Route) Valid() bool { return r.Dest != 0 || len(r.Path) > 0 || r.LearnedFrom != 0 }
+
+// IsSelf reports whether the route is self-originated.
+func (r Route) IsSelf() bool { return r.LearnedFrom == SelfOrigin }
+
+// Len is the AS-path length.
+func (r Route) Len() int { return len(r.Path) }
+
+// NextHop returns the first AS on the path, or the destination itself for
+// self-originated routes.
+func (r Route) NextHop() int {
+	if len(r.Path) == 0 {
+		return r.Dest
+	}
+	return r.Path[0]
+}
+
+// Contains reports whether the path traverses as (loop detection).
+func (r Route) Contains(as int) bool {
+	for _, h := range r.Path {
+		if h == as {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal compares routes structurally.
+func (r Route) Equal(o Route) bool {
+	if r.Dest != o.Dest || r.LocalPref != o.LocalPref ||
+		r.LearnedFrom != o.LearnedFrom || len(r.Path) != len(o.Path) {
+		return false
+	}
+	for i := range r.Path {
+		if r.Path[i] != o.Path[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the route like a looking glass would.
+func (r Route) String() string {
+	return fmt.Sprintf("→AS%d via %v (pref %d, from %d)", r.Dest, r.Path, r.LocalPref, r.LearnedFrom)
+}
+
+// Better implements the BGP decision process used by the controller:
+// highest local preference, then shortest AS path, then lowest next hop
+// as the deterministic tie-break.
+func Better(a, b Route) bool {
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	if len(a.Path) != len(b.Path) {
+		return len(a.Path) < len(b.Path)
+	}
+	return a.NextHop() < b.NextHop()
+}
+
+// CanExport implements the Gao–Rexford export rule: routes learned from
+// customers (and self-originated routes) are exported to everyone; routes
+// learned from peers or providers are exported only to customers.
+func CanExport(r Route, toRel topo.Relationship) bool {
+	if toRel == topo.RelCustomer {
+		return true
+	}
+	return r.IsSelf() || r.LearnedRel == topo.RelCustomer
+}
+
+// RIB maps destination AS → best route.
+type RIB map[int]Route
+
+// Clone deep-copies the RIB.
+func (rib RIB) Clone() RIB {
+	out := make(RIB, len(rib))
+	for d, r := range rib {
+		cp := r
+		cp.Path = append([]int(nil), r.Path...)
+		out[d] = cp
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package bgp
+
+import "sgxnet/internal/topo"
+
+// Valley-free validation: a route that respects Gao–Rexford export rules
+// traverses zero or more customer→provider ("uphill") links, at most one
+// peer link, then zero or more provider→customer ("downhill") links. A
+// "valley" (forwarding through a customer back up to a provider, or
+// across two peers) means some AS is giving away transit it isn't paid
+// for — exactly what the export rules exist to prevent.
+
+// ValleyFree reports whether holder's route satisfies the valley-free
+// property on the given topology.
+func ValleyFree(t *topo.Topology, holder int, r Route) bool {
+	if len(r.Path) == 0 {
+		return true // self-originated
+	}
+	seq := append([]int{holder}, r.Path...)
+	const (
+		up = iota
+		peered
+		down
+	)
+	state := up
+	for i := 0; i+1 < len(seq); i++ {
+		rel, ok := t.Rel(seq[i], seq[i+1])
+		if !ok {
+			return false // path uses a non-existent link
+		}
+		switch rel {
+		case topo.RelProvider: // uphill step
+			if state != up {
+				return false
+			}
+		case topo.RelPeer:
+			if state != up {
+				return false
+			}
+			state = peered
+		case topo.RelCustomer: // downhill step
+			state = down
+		}
+	}
+	return true
+}
+
+// AllValleyFree checks every route in every RIB.
+func AllValleyFree(t *topo.Topology, ribs map[int]RIB) bool {
+	for holder, rib := range ribs {
+		for _, r := range rib {
+			if !ValleyFree(t, holder, r) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LoopFree reports whether any path revisits an AS.
+func LoopFree(ribs map[int]RIB) bool {
+	for holder, rib := range ribs {
+		for _, r := range rib {
+			seen := map[int]bool{holder: true}
+			for _, h := range r.Path {
+				if seen[h] {
+					return false
+				}
+				seen[h] = true
+			}
+		}
+	}
+	return true
+}

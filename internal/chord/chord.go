@@ -1,0 +1,422 @@
+// Package chord implements the Chord distributed hash table (Stoica et
+// al., SIGCOMM 2001) — the membership substrate the paper proposes for a
+// directory-less, fully SGX-enabled Tor: "Tor can utilize a distributed
+// hash table to track the membership, similar to other peer-to-peer
+// systems" (§3.2).
+//
+// The implementation is a faithful protocol simulation: nodes hold only
+// successor/predecessor/finger state, lookups are routed hop by hop via
+// closest-preceding-finger, and rings are maintained by the
+// join/stabilize/fix-fingers/notify machinery of the paper. Inter-node
+// calls are direct method invocations with per-lookup hop accounting (the
+// quantity of interest), rather than wire messages.
+package chord
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// M is the identifier-space width in bits.
+const M = 64
+
+// ID is a point on the Chord ring.
+type ID uint64
+
+// HashKey maps an arbitrary key to the ring.
+func HashKey(key string) ID {
+	sum := sha256.Sum256([]byte(key))
+	return ID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// between reports whether x ∈ (a, b] on the ring.
+func between(x, a, b ID) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b // wrap-around (or a == b: full circle)
+}
+
+// betweenOpen reports whether x ∈ (a, b) on the ring.
+func betweenOpen(x, a, b ID) bool {
+	if a < b {
+		return x > a && x < b
+	}
+	return x > a || x < b
+}
+
+// Node is one Chord participant.
+type Node struct {
+	id   ID
+	name string
+	ring *Ring
+
+	mu      sync.Mutex
+	succ    *Node
+	pred    *Node
+	fingers [M]*Node
+	data    map[ID][]byte
+	alive   atomic.Bool
+}
+
+// ID returns the node's ring position.
+func (n *Node) ID() ID { return n.id }
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Alive reports whether the node is still in the ring. It is lock-free
+// so it can be queried from inside any node's critical section (a node
+// may be its own predecessor or finger).
+func (n *Node) Alive() bool { return n.alive.Load() }
+
+// Ring manages a set of Chord nodes (the "network").
+type Ring struct {
+	mu    sync.Mutex
+	nodes map[ID]*Node
+}
+
+// NewRing creates an empty ring.
+func NewRing() *Ring {
+	return &Ring{nodes: make(map[ID]*Node)}
+}
+
+// ErrEmpty is returned by operations on an empty ring.
+var ErrEmpty = errors.New("chord: empty ring")
+
+// ErrDead is returned when operating through a departed node.
+var ErrDead = errors.New("chord: node has left the ring")
+
+// Size returns the number of live nodes.
+func (r *Ring) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.nodes)
+}
+
+// Join adds a node named name, bootstrapping through any existing node,
+// and runs enough stabilization for the ring to absorb it.
+func (r *Ring) Join(name string) (*Node, error) {
+	id := HashKey(name)
+	r.mu.Lock()
+	if _, dup := r.nodes[id]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("chord: id collision for %q", name)
+	}
+	n := &Node{id: id, name: name, ring: r, data: make(map[ID][]byte)}
+	n.alive.Store(true)
+	var boot *Node
+	for _, b := range r.nodes {
+		boot = b
+		break
+	}
+	r.nodes[id] = n
+	r.mu.Unlock()
+
+	if boot == nil {
+		n.mu.Lock()
+		n.succ, n.pred = n, n
+		for i := range n.fingers {
+			n.fingers[i] = n
+		}
+		n.mu.Unlock()
+		return n, nil
+	}
+	succ, _, err := boot.FindSuccessor(id)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.succ = succ
+	n.pred = nil
+	for i := range n.fingers {
+		n.fingers[i] = succ
+	}
+	n.mu.Unlock()
+	// Light local repair: the new node and its ring neighborhood
+	// stabilize immediately; global finger refresh happens on the next
+	// periodic StabilizeAll, as in a real deployment.
+	n.stabilize()
+	succ.stabilize()
+	if p := r.successorOnRing(n.id); p != nil {
+		p.stabilize()
+	}
+	for _, m := range r.sortedNodes() {
+		m.stabilize()
+	}
+	n.fixFingers()
+	// Key handoff: the new node takes over keys in (pred(n), n] from its
+	// successor, as in the Chord paper's join procedure.
+	nodes := r.sortedNodes()
+	var predID ID = n.id
+	for i, m := range nodes {
+		if m == n {
+			predID = nodes[(i+len(nodes)-1)%len(nodes)].id
+			break
+		}
+	}
+	if succNow := r.successorOnRing(n.id + 1); succNow != nil && succNow != n && predID != n.id {
+		succNow.mu.Lock()
+		moved := make(map[ID][]byte)
+		for k, v := range succNow.data {
+			if between(k, predID, n.id) {
+				moved[k] = v
+				delete(succNow.data, k)
+			}
+		}
+		succNow.mu.Unlock()
+		n.mu.Lock()
+		for k, v := range moved {
+			n.data[k] = v
+		}
+		n.mu.Unlock()
+	}
+	return n, nil
+}
+
+// Leave removes a node (graceful departure: keys hand off to the
+// successor) and re-stabilizes.
+func (r *Ring) Leave(n *Node) {
+	if !n.alive.CompareAndSwap(true, false) {
+		return
+	}
+	n.mu.Lock()
+	succ := n.succ
+	keys := n.data
+	n.data = map[ID][]byte{}
+	n.mu.Unlock()
+
+	r.mu.Lock()
+	delete(r.nodes, n.id)
+	r.mu.Unlock()
+
+	if succ == nil || succ == n || !succ.Alive() {
+		succ = r.successorOnRing(n.id + 1)
+	}
+	if succ != nil && succ.Alive() {
+		succ.mu.Lock()
+		for k, v := range keys {
+			succ.data[k] = v
+		}
+		succ.mu.Unlock()
+	}
+	for _, m := range r.sortedNodes() {
+		m.stabilize()
+	}
+}
+
+// sortedNodes returns live nodes in ring order.
+func (r *Ring) sortedNodes() []*Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// StabilizeAll runs `rounds` of stabilize on every node followed by one
+// finger-table refresh — the periodic maintenance a deployment runs on
+// timers.
+func (r *Ring) StabilizeAll(rounds int) {
+	for i := 0; i < rounds; i++ {
+		for _, n := range r.sortedNodes() {
+			n.stabilize()
+		}
+	}
+	for _, n := range r.sortedNodes() {
+		n.fixFingers()
+	}
+}
+
+// successorOnRing computes the true successor (used by stabilization to
+// repair pointers after failures; a real deployment uses successor
+// lists — this models the same recovery capability).
+func (r *Ring) successorOnRing(id ID) *Node {
+	nodes := r.sortedNodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	for _, n := range nodes {
+		if n.id >= id {
+			return n
+		}
+	}
+	return nodes[0]
+}
+
+// stabilize implements Chord's stabilize(): ask the successor for its
+// predecessor and adopt it if closer; then notify.
+func (n *Node) stabilize() {
+	if !n.Alive() {
+		return
+	}
+	n.mu.Lock()
+	succ := n.succ
+	n.mu.Unlock()
+
+	if succ == nil || !succ.Alive() {
+		succ = n.ring.successorOnRing(n.id + 1)
+		if succ == nil {
+			return
+		}
+		n.mu.Lock()
+		n.succ = succ
+		n.mu.Unlock()
+	}
+	succ.mu.Lock()
+	x := succ.pred
+	succ.mu.Unlock()
+	if x != nil && x.Alive() && x != n && betweenOpen(x.id, n.id, succ.id) {
+		n.mu.Lock()
+		n.succ = x
+		n.mu.Unlock()
+		succ = x
+	}
+	succ.notify(n)
+}
+
+// notify implements Chord's notify(): n' thinks it might be our
+// predecessor.
+func (n *Node) notify(cand *Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pred == nil || !n.pred.Alive() || betweenOpen(cand.id, n.pred.id, n.id) {
+		if cand != n {
+			n.pred = cand
+		}
+	}
+}
+
+// fixFingers refreshes the finger table.
+func (n *Node) fixFingers() {
+	if !n.Alive() {
+		return
+	}
+	for i := 0; i < M; i++ {
+		start := n.id + (ID(1) << uint(i))
+		f, _, err := n.FindSuccessor(start)
+		if err != nil {
+			continue
+		}
+		n.mu.Lock()
+		n.fingers[i] = f
+		n.mu.Unlock()
+	}
+}
+
+// closestPrecedingFinger returns the finger closest to, and preceding,
+// id.
+func (n *Node) closestPrecedingFinger(id ID) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := M - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if f != nil && f.Alive() && betweenOpen(f.id, n.id, id) {
+			return f
+		}
+	}
+	return n
+}
+
+// FindSuccessor resolves the node responsible for id, returning it and
+// the number of routing hops taken — O(log N) with high probability.
+func (n *Node) FindSuccessor(id ID) (*Node, int, error) {
+	if !n.Alive() {
+		return nil, 0, ErrDead
+	}
+	cur := n
+	hops := 0
+	for limit := 0; limit < 4*M; limit++ {
+		cur.mu.Lock()
+		succ := cur.succ
+		cur.mu.Unlock()
+		if succ == nil {
+			return nil, hops, ErrEmpty
+		}
+		if !succ.Alive() {
+			succ = n.ring.successorOnRing(cur.id + 1)
+			if succ == nil {
+				return nil, hops, ErrEmpty
+			}
+			cur.mu.Lock()
+			cur.succ = succ
+			cur.mu.Unlock()
+		}
+		if between(id, cur.id, succ.id) {
+			return succ, hops, nil
+		}
+		next := cur.closestPrecedingFinger(id)
+		if next == cur {
+			next = succ
+		}
+		cur = next
+		hops++
+	}
+	return nil, hops, fmt.Errorf("chord: lookup for %d did not converge", id)
+}
+
+// Put stores a value at the node responsible for key.
+func (n *Node) Put(key string, value []byte) (int, error) {
+	id := HashKey(key)
+	owner, hops, err := n.FindSuccessor(id)
+	if err != nil {
+		return hops, err
+	}
+	owner.mu.Lock()
+	owner.data[id] = append([]byte(nil), value...)
+	owner.mu.Unlock()
+	return hops, nil
+}
+
+// Get retrieves a value by key.
+func (n *Node) Get(key string) ([]byte, int, error) {
+	id := HashKey(key)
+	owner, hops, err := n.FindSuccessor(id)
+	if err != nil {
+		return nil, hops, err
+	}
+	owner.mu.Lock()
+	v, ok := owner.data[id]
+	owner.mu.Unlock()
+	if !ok {
+		return nil, hops, fmt.Errorf("chord: key %q not found", key)
+	}
+	return append([]byte(nil), v...), hops, nil
+}
+
+// Successor returns the node's current successor (diagnostics).
+func (n *Node) Successor() *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.succ
+}
+
+// SuccessorOf returns the live node responsible for id (the ring-level
+// oracle view; applications holding only a node handle use
+// Node.FindSuccessor).
+func (r *Ring) SuccessorOf(id ID) *Node { return r.successorOnRing(id) }
+
+// CheckRing verifies the ring invariant: following successor pointers
+// from the lowest node visits every live node exactly once, in ID order.
+func (r *Ring) CheckRing() error {
+	nodes := r.sortedNodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	for i, n := range nodes {
+		want := nodes[(i+1)%len(nodes)]
+		got := n.Successor()
+		if got != want {
+			return fmt.Errorf("chord: %s's successor is %v, want %s", n.name, got.name, want.name)
+		}
+	}
+	return nil
+}

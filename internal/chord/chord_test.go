@@ -1,0 +1,196 @@
+package chord
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func buildRing(t testing.TB, n int) (*Ring, []*Node) {
+	t.Helper()
+	r := NewRing()
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		nd, err := r.Join(fmt.Sprintf("node-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	r.StabilizeAll(4)
+	return r, nodes
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	r, nodes := buildRing(t, 1)
+	if err := r.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := nodes[0].Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("%q %v", v, err)
+	}
+}
+
+func TestRingInvariantAfterJoins(t *testing.T) {
+	for _, n := range []int{2, 5, 16, 40} {
+		r, _ := buildRing(t, n)
+		if err := r.CheckRing(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r.Size() != n {
+			t.Fatalf("n=%d: size %d", n, r.Size())
+		}
+	}
+}
+
+func TestPutGetAcrossNodes(t *testing.T) {
+	_, nodes := buildRing(t, 20)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		val := []byte(fmt.Sprintf("val-%d", i))
+		if _, err := nodes[i%len(nodes)].Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		// Read through a different node than wrote.
+		v, _, err := nodes[(i+7)%len(nodes)].Get(key)
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key %q: %q %v", key, v, err)
+		}
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	_, nodes := buildRing(t, 5)
+	if _, _, err := nodes[0].Get("never-stored"); err == nil {
+		t.Fatal("missing key returned")
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	_, nodes := buildRing(t, 64)
+	total, count := 0, 0
+	for i := 0; i < 200; i++ {
+		_, hops, err := nodes[i%len(nodes)].FindSuccessor(HashKey(fmt.Sprintf("probe-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+		count++
+	}
+	avg := float64(total) / float64(count)
+	bound := 2 * math.Log2(64)
+	if avg > bound {
+		t.Fatalf("average hops %.1f exceeds 2·log2(N)=%.1f", avg, bound)
+	}
+}
+
+func TestLeaveHandsOffKeysAndHealsRing(t *testing.T) {
+	r, nodes := buildRing(t, 10)
+	for i := 0; i < 30; i++ {
+		if _, err := nodes[0].Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Leave(nodes[3])
+	r.Leave(nodes[7])
+	if err := r.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 8 {
+		t.Fatalf("size %d", r.Size())
+	}
+	alive := nodes[0]
+	for i := 0; i < 30; i++ {
+		v, _, err := alive.Get(fmt.Sprintf("k%d", i))
+		if err != nil || v[0] != byte(i) {
+			t.Fatalf("key k%d lost after departures: %v", i, err)
+		}
+	}
+	// Departed nodes refuse service.
+	if _, _, err := nodes[3].FindSuccessor(1); err != ErrDead {
+		t.Fatalf("dead node served lookup: %v", err)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	r, _ := buildRing(t, 2)
+	if _, err := r.Join("node-0"); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+}
+
+func TestBetweenWrapAround(t *testing.T) {
+	if !between(5, 100, 10) {
+		t.Fatal("wrap-around interval broken")
+	}
+	if between(50, 100, 10) {
+		t.Fatal("non-member accepted in wrap interval")
+	}
+	if !between(10, 5, 10) {
+		t.Fatal("closed upper bound broken")
+	}
+	if betweenOpen(10, 5, 10) {
+		t.Fatal("open upper bound broken")
+	}
+}
+
+// Property: any join/leave sequence leaves a well-formed ring where every
+// stored key is still retrievable from any live node.
+func TestChurnProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		r := NewRing()
+		var nodes []*Node
+		seq := 0
+		join := func() bool {
+			nd, err := r.Join(fmt.Sprintf("n%d", seq))
+			seq++
+			if err != nil {
+				return false
+			}
+			nodes = append(nodes, nd)
+			return true
+		}
+		if !join() || !join() {
+			return false
+		}
+		if _, err := nodes[0].Put("anchor", []byte("x")); err != nil {
+			return false
+		}
+		for _, isJoin := range ops {
+			if isJoin || len(nodes) <= 2 {
+				if !join() {
+					return false
+				}
+			} else {
+				r.Leave(nodes[0])
+				nodes = nodes[1:]
+			}
+		}
+		r.StabilizeAll(4)
+		if err := r.CheckRing(); err != nil {
+			return false
+		}
+		v, _, err := nodes[len(nodes)-1].Get("anchor")
+		return err == nil && string(v) == "x"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup64(b *testing.B) {
+	_, nodes := buildRing(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[i%len(nodes)].FindSuccessor(HashKey(fmt.Sprintf("p%d", i)))
+	}
+}

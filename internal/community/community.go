@@ -1,0 +1,291 @@
+// Package community implements the paper's §4, "Secure Execution of
+// Shared Code": open-source projects whose integrity anyone can validate
+// by comparing release histories (the git analogy of §4), combined with
+// an "open" attestation signing key published by the project's
+// foundation.
+//
+// A Foundation maintains a hash-chained, signed release history mapping
+// versions to deterministic-build measurements. Verifiers follow the
+// history like a git remote: every update must extend the prefix they
+// already hold — a rewritten history ("an unauthorized change to the
+// program's history") is detected immediately, and users "can promptly
+// flag the fraud". The current, non-revoked measurements become the
+// attestation whitelist (attest.Policy) that relays, clients, and
+// controllers pin; the foundation's published enclave-signing key makes
+// every volunteer's build carry the same MRSIGNER.
+package community
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sgxnet/internal/attest"
+	"sgxnet/internal/core"
+)
+
+// Release is one entry in a project's release history.
+type Release struct {
+	Project string
+	Version string
+	// Measurement is the deterministic-build MRENCLAVE of this release.
+	Measurement core.Measurement
+	// Revokes lists earlier versions this release withdraws (e.g. a
+	// vulnerable build).
+	Revokes []string
+	// PrevHash chains the history (zero for the first release).
+	PrevHash [32]byte
+}
+
+// Hash computes the release's chain hash.
+func (r *Release) Hash() [32]byte {
+	h := sha256.New()
+	put := func(b []byte) {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(b)))
+		h.Write(l[:])
+		h.Write(b)
+	}
+	put([]byte("sgxnet-release-v1"))
+	put([]byte(r.Project))
+	put([]byte(r.Version))
+	put(r.Measurement[:])
+	for _, v := range r.Revokes {
+		put([]byte(v))
+	}
+	h.Write(r.PrevHash[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// SignedHead is the foundation's signature over the current chain head.
+type SignedHead struct {
+	Project  string
+	Seq      int // number of releases in the chain
+	HeadHash [32]byte
+	Sig      []byte
+}
+
+func (sh *SignedHead) signedBody() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("sgxnet-head-v1")
+	buf.WriteString(sh.Project)
+	var seq [8]byte
+	binary.BigEndian.PutUint64(seq[:], uint64(sh.Seq))
+	buf.Write(seq[:])
+	buf.Write(sh.HeadHash[:])
+	return buf.Bytes()
+}
+
+// Foundation is a project's maintainer: it holds the history signing key
+// and the published ("open") enclave-signing key.
+type Foundation struct {
+	Project string
+
+	mu      sync.Mutex
+	histPub ed25519.PublicKey
+	histKey ed25519.PrivateKey
+	signer  *core.Signer
+	chain   []Release
+}
+
+// NewFoundation creates a foundation for a project.
+func NewFoundation(project string) (*Foundation, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	signer, err := core.NewSigner()
+	if err != nil {
+		return nil, err
+	}
+	return &Foundation{Project: project, histPub: pub, histKey: priv, signer: signer}, nil
+}
+
+// HistoryPublicKey is the well-known key verifiers pin.
+func (f *Foundation) HistoryPublicKey() ed25519.PublicKey {
+	out := make(ed25519.PublicKey, len(f.histPub))
+	copy(out, f.histPub)
+	return out
+}
+
+// EnclaveSigner returns the project's published enclave-signing key —
+// the "open private attestation key" of §4 that lets any volunteer
+// build, launch, and sign the project's enclaves ("Tor nodes can be
+// launched, executed and verified by anyone who has the private key").
+func (f *Foundation) EnclaveSigner() *core.Signer { return f.signer }
+
+// Publish appends a release for a measured build and re-signs the head.
+func (f *Foundation) Publish(version string, measurement core.Measurement, revokes ...string) (Release, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.chain {
+		if r.Version == version {
+			return Release{}, fmt.Errorf("community: version %q already released", version)
+		}
+	}
+	rel := Release{
+		Project:     f.Project,
+		Version:     version,
+		Measurement: measurement,
+		Revokes:     append([]string(nil), revokes...),
+	}
+	if n := len(f.chain); n > 0 {
+		rel.PrevHash = f.chain[n-1].Hash()
+	}
+	f.chain = append(f.chain, rel)
+	return rel, nil
+}
+
+// Chain returns a copy of the full release history.
+func (f *Foundation) Chain() []Release {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Release(nil), f.chain...)
+}
+
+// Head returns the signed chain head.
+func (f *Foundation) Head() SignedHead {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sh := SignedHead{Project: f.Project, Seq: len(f.chain)}
+	if len(f.chain) > 0 {
+		sh.HeadHash = f.chain[len(f.chain)-1].Hash()
+	}
+	sh.Sig = ed25519.Sign(f.histKey, sh.signedBody())
+	return sh
+}
+
+// Errors surfaced by verification.
+var (
+	ErrBadHistory = errors.New("community: history verification failed")
+	// ErrHistoryRewritten reports a fork: the fetched history does not
+	// extend the locally known prefix — the fraud §4 says users promptly
+	// flag.
+	ErrHistoryRewritten = errors.New("community: history rewritten (fork detected)")
+)
+
+// History is a verifier's replica of a project's release history.
+type History struct {
+	project string
+	pub     ed25519.PublicKey
+
+	mu    sync.Mutex
+	chain []Release
+}
+
+// Follow verifies a fetched chain + signed head against the pinned
+// foundation key and returns a replica.
+func Follow(project string, pub ed25519.PublicKey, chain []Release, head SignedHead) (*History, error) {
+	h := &History{project: project, pub: append(ed25519.PublicKey(nil), pub...)}
+	if err := h.verify(chain, head); err != nil {
+		return nil, err
+	}
+	h.chain = append([]Release(nil), chain...)
+	return h, nil
+}
+
+func (h *History) verify(chain []Release, head SignedHead) error {
+	if head.Project != h.project {
+		return fmt.Errorf("%w: head for project %q", ErrBadHistory, head.Project)
+	}
+	if !ed25519.Verify(h.pub, head.signedBody(), head.Sig) {
+		return fmt.Errorf("%w: bad head signature", ErrBadHistory)
+	}
+	if head.Seq != len(chain) {
+		return fmt.Errorf("%w: head seq %d over %d releases", ErrBadHistory, head.Seq, len(chain))
+	}
+	var prev [32]byte
+	for i, r := range chain {
+		if r.Project != h.project {
+			return fmt.Errorf("%w: release %d for project %q", ErrBadHistory, i, r.Project)
+		}
+		if r.PrevHash != prev {
+			return fmt.Errorf("%w: broken chain at release %d (%s)", ErrBadHistory, i, r.Version)
+		}
+		prev = r.Hash()
+	}
+	if len(chain) > 0 && head.HeadHash != prev {
+		return fmt.Errorf("%w: head hash mismatch", ErrBadHistory)
+	}
+	return nil
+}
+
+// Update applies a fetched newer history. It must verify AND extend the
+// locally known prefix; any divergence is a rewrite.
+func (h *History) Update(chain []Release, head SignedHead) error {
+	if err := h.verify(chain, head); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(chain) < len(h.chain) {
+		return fmt.Errorf("%w: fetched history shorter than local", ErrHistoryRewritten)
+	}
+	for i, local := range h.chain {
+		if chain[i].Hash() != local.Hash() {
+			return fmt.Errorf("%w: divergence at release %d (%s vs %s)",
+				ErrHistoryRewritten, i, local.Version, chain[i].Version)
+		}
+	}
+	h.chain = append([]Release(nil), chain...)
+	return nil
+}
+
+// Current returns the latest non-revoked measurements — the attestation
+// whitelist.
+func (h *History) Current() []core.Measurement {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	revoked := map[string]bool{}
+	for _, r := range h.chain {
+		for _, v := range r.Revokes {
+			revoked[v] = true
+		}
+	}
+	var out []core.Measurement
+	for _, r := range h.chain {
+		if !revoked[r.Version] {
+			out = append(out, r.Measurement)
+		}
+	}
+	return out
+}
+
+// Version looks up a release by version string.
+func (h *History) Version(v string) (Release, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, r := range h.chain {
+		if r.Version == v {
+			return r, true
+		}
+	}
+	return Release{}, false
+}
+
+// Len reports the number of releases known locally.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.chain)
+}
+
+// Policy builds the attestation policy pinning the project's current
+// builds and the foundation's signer.
+func (h *History) Policy(foundationSigner core.Measurement) attest.Policy {
+	return attest.Policy{
+		AllowedEnclaves: h.Current(),
+		AllowedSigners:  []core.Measurement{foundationSigner},
+		RejectDebug:     true,
+	}
+}
+
+// ed25519Sign is an internal alias used by the test helpers.
+func ed25519Sign(priv ed25519.PrivateKey, body []byte) []byte { return ed25519.Sign(priv, body) }

@@ -1,0 +1,223 @@
+package community
+
+import (
+	"errors"
+	"testing"
+
+	"sgxnet/internal/core"
+)
+
+func mustFoundation(t *testing.T) *Foundation {
+	t.Helper()
+	f, err := NewFoundation("tor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mr(b byte) core.Measurement {
+	var m core.Measurement
+	m[0] = b
+	return m
+}
+
+func TestPublishAndFollow(t *testing.T) {
+	f := mustFoundation(t)
+	if _, err := f.Publish("1.0", mr(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Publish("1.1", mr(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Publish("1.0", mr(9)); err == nil {
+		t.Fatal("duplicate version published")
+	}
+	h, err := Follow("tor", f.HistoryPublicKey(), f.Chain(), f.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("len=%d", h.Len())
+	}
+	cur := h.Current()
+	if len(cur) != 2 || cur[0] != mr(1) || cur[1] != mr(2) {
+		t.Fatalf("current = %v", cur)
+	}
+	if r, ok := h.Version("1.1"); !ok || r.Measurement != mr(2) {
+		t.Fatal("version lookup failed")
+	}
+	if _, ok := h.Version("9.9"); ok {
+		t.Fatal("phantom version")
+	}
+}
+
+func TestFollowRejectsForgedHead(t *testing.T) {
+	f := mustFoundation(t)
+	f.Publish("1.0", mr(1))
+	head := f.Head()
+	head.Sig[0] ^= 1
+	if _, err := Follow("tor", f.HistoryPublicKey(), f.Chain(), head); err == nil {
+		t.Fatal("forged head accepted")
+	}
+	// Wrong key.
+	other := mustFoundation(t)
+	if _, err := Follow("tor", other.HistoryPublicKey(), f.Chain(), f.Head()); err == nil {
+		t.Fatal("head verified with wrong foundation key")
+	}
+}
+
+func TestFollowRejectsBrokenChain(t *testing.T) {
+	f := mustFoundation(t)
+	f.Publish("1.0", mr(1))
+	f.Publish("1.1", mr(2))
+	chain := f.Chain()
+	// Tamper with an intermediate release's measurement: the chain hash
+	// of its successor no longer matches.
+	chain[0].Measurement = mr(99)
+	if _, err := Follow("tor", f.HistoryPublicKey(), chain, f.Head()); err == nil {
+		t.Fatal("tampered chain accepted")
+	}
+	// Dropped release.
+	if _, err := Follow("tor", f.HistoryPublicKey(), f.Chain()[1:], f.Head()); err == nil {
+		t.Fatal("truncated chain accepted")
+	}
+}
+
+func TestUpdateDetectsRewrite(t *testing.T) {
+	f := mustFoundation(t)
+	f.Publish("1.0", mr(1))
+	h, err := Follow("tor", f.HistoryPublicKey(), f.Chain(), f.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Legitimate extension.
+	f.Publish("1.1", mr(2))
+	if err := h.Update(f.Chain(), f.Head()); err != nil {
+		t.Fatal(err)
+	}
+	// A compromised foundation key rewrites history: a new chain that
+	// does not extend the old one. Build a parallel foundation with the
+	// same key by publishing a different 1.0... simulate by constructing
+	// a fork directly.
+	evil := mustFoundation(t)
+	evilChain := []Release{{Project: "tor", Version: "1.0", Measurement: mr(66)}}
+	evilChain = append(evilChain, Release{
+		Project: "tor", Version: "1.1", Measurement: mr(67), PrevHash: evilChain[0].Hash(),
+	})
+	_ = evil
+	// Sign the fork with the REAL key (worst case: key compromise).
+	forkHead := signHeadWith(f, evilChain)
+	err = h.Update(evilChain, forkHead)
+	if !errors.Is(err, ErrHistoryRewritten) {
+		t.Fatalf("fork not detected: %v", err)
+	}
+	// Shorter (rolled-back) history is also flagged.
+	shortHead := signHeadWith(f, f.Chain()[:1])
+	if err := h.Update(f.Chain()[:1], shortHead); !errors.Is(err, ErrHistoryRewritten) {
+		t.Fatalf("rollback not detected: %v", err)
+	}
+}
+
+// signHeadWith signs an arbitrary chain head with the foundation's key —
+// modelling a compromised maintainer key, which history comparison still
+// catches.
+func signHeadWith(f *Foundation, chain []Release) SignedHead {
+	sh := SignedHead{Project: f.Project, Seq: len(chain)}
+	if len(chain) > 0 {
+		sh.HeadHash = chain[len(chain)-1].Hash()
+	}
+	// Reuse Foundation.Head()'s signing path by temporarily swapping the
+	// chain is invasive; sign directly instead.
+	sh.Sig = signBody(f, sh.signedBody())
+	return sh
+}
+
+func signBody(f *Foundation, body []byte) []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return ed25519Sign(f.histKey, body)
+}
+
+func TestRevocationShrinksWhitelist(t *testing.T) {
+	f := mustFoundation(t)
+	f.Publish("1.0", mr(1))
+	f.Publish("1.1", mr(2))
+	// 1.2 revokes the vulnerable 1.0.
+	f.Publish("1.2", mr(3), "1.0")
+	h, err := Follow("tor", f.HistoryPublicKey(), f.Chain(), f.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := h.Current()
+	if len(cur) != 2 {
+		t.Fatalf("current = %v", cur)
+	}
+	for _, m := range cur {
+		if m == mr(1) {
+			t.Fatal("revoked build still whitelisted")
+		}
+	}
+	pol := h.Policy(f.EnclaveSigner().MRSigner())
+	if len(pol.AllowedEnclaves) != 2 || len(pol.AllowedSigners) != 1 || !pol.RejectDebug {
+		t.Fatalf("policy = %+v", pol)
+	}
+}
+
+func TestPolicyGatesAttestation(t *testing.T) {
+	// End-to-end: an enclave built from release 1.0 passes the
+	// registry-derived policy; after revocation it fails.
+	f := mustFoundation(t)
+	prog := &core.Program{
+		Name:    "tor-or",
+		Version: "1.0",
+		Handlers: map[string]core.Handler{
+			"noop": func(*core.Env, []byte) ([]byte, error) { return nil, nil },
+		},
+	}
+	m10 := core.MeasureProgram(prog)
+	f.Publish("1.0", m10)
+	h, err := Follow("tor", f.HistoryPublicKey(), f.Chain(), f.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := h.Policy(f.EnclaveSigner().MRSigner())
+
+	plat, err := core.NewPlatform("volunteer", core.PlatformConfig{EPCFrames: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The volunteer launches the build signed with the foundation's
+	// published key (§4's open attestation key).
+	enc, err := plat.Launch(prog, f.EnclaveSigner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	quoteLike := struct {
+		mre, mrs core.Measurement
+	}{enc.MREnclave(), enc.MRSigner()}
+	okNow := containsM(pol.AllowedEnclaves, quoteLike.mre) && containsM(pol.AllowedSigners, quoteLike.mrs)
+	if !okNow {
+		t.Fatal("release 1.0 build rejected by its own registry policy")
+	}
+
+	// The community discovers a bug; 1.1 revokes 1.0.
+	prog2 := &core.Program{Name: "tor-or", Version: "1.1", Handlers: prog.Handlers}
+	f.Publish("1.1", core.MeasureProgram(prog2), "1.0")
+	if err := h.Update(f.Chain(), f.Head()); err != nil {
+		t.Fatal(err)
+	}
+	pol = h.Policy(f.EnclaveSigner().MRSigner())
+	if containsM(pol.AllowedEnclaves, quoteLike.mre) {
+		t.Fatal("revoked build still accepted after registry update")
+	}
+}
+
+func containsM(set []core.Measurement, m core.Measurement) bool {
+	for _, x := range set {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}

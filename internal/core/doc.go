@@ -1,0 +1,34 @@
+// Package core implements a software model of Intel SGX: a commodity
+// trusted execution environment exposing enclaves, an Enclave Page Cache
+// (EPC), SHA-256 software measurement, local report generation
+// (EREPORT/EGETKEY), and an instruction-accounting model.
+//
+// The package plays the role OpenSGX plays in the paper "A First Step
+// Towards Leveraging Commodity Trusted Execution Environments for Network
+// Applications" (HotNets 2015): it is not an x86 emulator, but it executes
+// the same SGX instruction sequence an SGX application would execute and
+// charges each instruction — and each metered "normal" operation — to a
+// Meter, so that the paper's evaluation methodology (counting SGX usermode
+// instructions and normal instructions, then converting to cycles via
+// cycles = 10,000·SGX(U) + 1.8·normal) can be reproduced exactly.
+//
+// # Threat model
+//
+// As in SGX, everything outside the CPU package is untrusted: the host may
+// inspect EPC frames (it sees only sealed bytes), may refuse service
+// (denial of service is out of scope), but cannot read or modify enclave
+// state without changing the enclave's measurement. Code running inside an
+// enclave is identified by MRENCLAVE (a SHA-256 digest accumulated over the
+// pages added at build time) and MRSIGNER (the digest of the public key
+// that signed the enclave).
+//
+// # Execution model
+//
+// Enclave "code" is a set of named Go functions registered by a Program.
+// The program's identity is its canonical code image — the bytes measured
+// into MRENCLAVE. Entering the enclave (EENTER) dispatches to a registered
+// function; host services (I/O, time) are reached through OCALLs which
+// leave and re-enter the enclave, charging the corresponding context-switch
+// costs. This mirrors how OpenSGX ran network applications: real protocol
+// logic, emulated trusted hardware.
+package core

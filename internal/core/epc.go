@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the SGX enclave page size.
+const PageSize = 4096
+
+// PageType identifies what an EPC page holds, mirroring the SGX PT_* types.
+type PageType uint8
+
+const (
+	// PageSECS holds an enclave's SGX Enclave Control Structure.
+	PageSECS PageType = iota
+	// PageTCS holds a Thread Control Structure (an enclave entry point).
+	PageTCS
+	// PageREG holds regular enclave code or data.
+	PageREG
+)
+
+func (t PageType) String() string {
+	switch t {
+	case PageSECS:
+		return "SECS"
+	case PageTCS:
+		return "TCS"
+	case PageREG:
+		return "REG"
+	default:
+		return fmt.Sprintf("PageType(%d)", uint8(t))
+	}
+}
+
+// Permissions of an EPC page, as recorded in the EPCM.
+type PagePerms uint8
+
+const (
+	PermR PagePerms = 1 << iota
+	PermW
+	PermX
+)
+
+func (p PagePerms) String() string {
+	buf := []byte("---")
+	if p&PermR != 0 {
+		buf[0] = 'r'
+	}
+	if p&PermW != 0 {
+		buf[1] = 'w'
+	}
+	if p&PermX != 0 {
+		buf[2] = 'x'
+	}
+	return string(buf)
+}
+
+// EPCMEntry is the per-frame metadata the processor keeps to police access
+// to EPC pages (the Enclave Page Cache Map).
+type EPCMEntry struct {
+	Valid     bool
+	Type      PageType
+	EnclaveID EnclaveID // owning enclave (0 for SECS pages)
+	LinAddr   uint64    // enclave-relative linear address the page maps
+	Perms     PagePerms
+}
+
+// EPC models the Enclave Page Cache: protected memory whose contents are
+// encrypted by the memory encryption engine. Frames store sealed bytes;
+// only an access on behalf of the owning enclave yields plaintext. Reads
+// from outside (ReadRaw) observe ciphertext, modelling a physical-memory
+// inspector.
+type EPC struct {
+	mu       sync.Mutex
+	frames   [][]byte
+	epcm     []EPCMEntry
+	free     []int
+	sealKey  [32]byte                // MEE key; lives only inside the CPU package
+	versions map[versionKey][32]byte // EWB version tokens (CPU-held)
+}
+
+// ErrEPCFull is returned when no EPC frame is free.
+var ErrEPCFull = errors.New("core: EPC full")
+
+// ErrEPCAccess is returned when an access violates the EPCM.
+var ErrEPCAccess = errors.New("core: EPCM access violation")
+
+// NewEPC builds an EPC with the given number of 4KiB frames, sealed with
+// the supplied memory-encryption key.
+func NewEPC(frames int, sealKey [32]byte) *EPC {
+	e := &EPC{
+		frames:  make([][]byte, frames),
+		epcm:    make([]EPCMEntry, frames),
+		free:    make([]int, 0, frames),
+		sealKey: sealKey,
+	}
+	for i := frames - 1; i >= 0; i-- {
+		e.free = append(e.free, i)
+	}
+	return e
+}
+
+// FrameCount reports the total number of EPC frames.
+func (e *EPC) FrameCount() int { return len(e.frames) }
+
+// FreeCount reports the number of unallocated frames.
+func (e *EPC) FreeCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.free)
+}
+
+// Alloc claims a frame for the given enclave page. The plaintext is sealed
+// into the frame. Returns the frame index.
+func (e *EPC) Alloc(owner EnclaveID, typ PageType, linAddr uint64, perms PagePerms, plaintext []byte) (int, error) {
+	if len(plaintext) > PageSize {
+		return 0, fmt.Errorf("core: page content %d bytes exceeds page size", len(plaintext))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.free) == 0 {
+		return 0, ErrEPCFull
+	}
+	idx := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	page := make([]byte, PageSize)
+	copy(page, plaintext)
+	e.seal(idx, page)
+	e.frames[idx] = page
+	e.epcm[idx] = EPCMEntry{Valid: true, Type: typ, EnclaveID: owner, LinAddr: linAddr, Perms: perms}
+	return idx, nil
+}
+
+// Read returns the plaintext of a frame on behalf of the owning enclave.
+func (e *EPC) Read(owner EnclaveID, idx int) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.check(owner, idx, PermR); err != nil {
+		return nil, err
+	}
+	page := make([]byte, PageSize)
+	copy(page, e.frames[idx])
+	e.seal(idx, page) // unseal (XOR keystream is its own inverse)
+	return page, nil
+}
+
+// Write replaces a frame's plaintext on behalf of the owning enclave.
+func (e *EPC) Write(owner EnclaveID, idx int, plaintext []byte) error {
+	if len(plaintext) > PageSize {
+		return fmt.Errorf("core: page content %d bytes exceeds page size", len(plaintext))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.check(owner, idx, PermW); err != nil {
+		return err
+	}
+	page := make([]byte, PageSize)
+	copy(page, plaintext)
+	e.seal(idx, page)
+	e.frames[idx] = page
+	return nil
+}
+
+// ReadRaw returns the sealed frame bytes, modelling an attacker with
+// physical memory access: the MEE guarantees this never reveals plaintext.
+func (e *EPC) ReadRaw(idx int) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if idx < 0 || idx >= len(e.frames) || !e.epcm[idx].Valid {
+		return nil, false
+	}
+	out := make([]byte, PageSize)
+	copy(out, e.frames[idx])
+	return out, true
+}
+
+// Entry returns the EPCM entry for a frame.
+func (e *EPC) Entry(idx int) (EPCMEntry, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if idx < 0 || idx >= len(e.epcm) {
+		return EPCMEntry{}, false
+	}
+	return e.epcm[idx], e.epcm[idx].Valid
+}
+
+// FreeEnclave releases every frame owned by the enclave (EREMOVE).
+func (e *EPC) FreeEnclave(owner EnclaveID) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for i := range e.epcm {
+		if e.epcm[i].Valid && e.epcm[i].EnclaveID == owner {
+			e.epcm[i] = EPCMEntry{}
+			e.frames[i] = nil
+			e.free = append(e.free, i)
+			n++
+		}
+	}
+	return n
+}
+
+func (e *EPC) check(owner EnclaveID, idx int, need PagePerms) error {
+	if idx < 0 || idx >= len(e.frames) {
+		return ErrEPCAccess
+	}
+	ent := e.epcm[idx]
+	if !ent.Valid || ent.EnclaveID != owner || ent.Perms&need != need {
+		return ErrEPCAccess
+	}
+	return nil
+}
+
+// seal XORs the page with a frame-specific keystream derived from the MEE
+// key. XOR sealing is an emulation stand-in for AES-XTS memory encryption:
+// it is involutive (seal == unseal) and ensures raw frame reads never see
+// plaintext, which is the property the threat model needs.
+func (e *EPC) seal(idx int, page []byte) {
+	ks := e.keystream(idx)
+	for i := range page {
+		page[i] ^= ks[i%len(ks)]
+	}
+}
+
+func (e *EPC) keystream(idx int) []byte {
+	// A 64-byte keystream mixed from the seal key and the frame index.
+	ks := make([]byte, 64)
+	for i := range ks {
+		ks[i] = e.sealKey[i%32] ^ byte(idx>>uint(8*(i%4))) ^ byte(i*131)
+	}
+	return ks
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Measurement is a SHA-256 digest identifying enclave contents (MRENCLAVE)
+// or an enclave signer (MRSIGNER).
+type Measurement [32]byte
+
+// IsZero reports whether the measurement is all zeroes.
+func (m Measurement) IsZero() bool { return m == Measurement{} }
+
+// measurer accumulates MRENCLAVE exactly the way SGX does: a running
+// SHA-256 over a log of ECREATE/EADD/EEXTEND records. Every EADD
+// contributes the page's metadata; every EEXTEND contributes a 256-byte
+// chunk of page content.
+type measurer struct {
+	h interface {
+		Write(p []byte) (int, error)
+		Sum(b []byte) []byte
+	}
+}
+
+const extendChunk = 256
+
+func newMeasurer(size uint64) *measurer {
+	m := &measurer{h: sha256.New()}
+	var rec [64]byte
+	copy(rec[:8], "ECREATE\x00")
+	binary.LittleEndian.PutUint64(rec[8:16], size)
+	m.h.Write(rec[:])
+	return m
+}
+
+// addPage folds an EADD record and the page's EEXTEND chunks into the
+// measurement.
+func (m *measurer) addPage(linAddr uint64, typ PageType, perms PagePerms, content []byte) {
+	var rec [64]byte
+	copy(rec[:8], "EADD\x00\x00\x00\x00")
+	binary.LittleEndian.PutUint64(rec[8:16], linAddr)
+	rec[16] = byte(typ)
+	rec[17] = byte(perms)
+	m.h.Write(rec[:])
+
+	page := make([]byte, PageSize)
+	copy(page, content)
+	for off := 0; off < PageSize; off += extendChunk {
+		var ext [16]byte
+		copy(ext[:8], "EEXTEND\x00")
+		binary.LittleEndian.PutUint64(ext[8:16], linAddr+uint64(off))
+		m.h.Write(ext[:])
+		m.h.Write(page[off : off+extendChunk])
+	}
+}
+
+// final returns MRENCLAVE.
+func (m *measurer) final() Measurement {
+	var out Measurement
+	copy(out[:], m.h.Sum(nil))
+	return out
+}
+
+// MeasureProgram computes the MRENCLAVE a program will have when loaded
+// with EnclaveBuilder.AddProgram — the value a verifier who builds the
+// program deterministically (§4) expects from remote attestation. It must
+// mirror AddProgram's page layout exactly.
+func MeasureProgram(prog *Program) Measurement {
+	img := prog.Image()
+	m := newMeasurer(uint64(len(img)))
+	m.addPage(0, PageTCS, PermR|PermW, []byte("TCS0"))
+	addr := uint64(PageSize)
+	for off := 0; off < len(img); off += PageSize {
+		end := off + PageSize
+		if end > len(img) {
+			end = len(img)
+		}
+		m.addPage(addr, PageREG, PermR|PermX, img[off:end])
+		addr += PageSize
+	}
+	for i := 0; i < 4; i++ {
+		m.addPage(addr, PageREG, PermR|PermW, nil)
+		addr += PageSize
+	}
+	return m.final()
+}

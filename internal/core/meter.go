@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// A Meter tallies the two quantities the paper's evaluation is built on:
+// SGX usermode instructions and normal instructions. Meters are safe for
+// concurrent use; every enclave owns one, and hosts aggregate them.
+type Meter struct {
+	sgxU   atomic.Uint64
+	normal atomic.Uint64
+}
+
+// NewMeter returns a zeroed Meter. The zero value is also ready to use.
+func NewMeter() *Meter { return &Meter{} }
+
+// ChargeSGX records n SGX usermode instructions.
+func (m *Meter) ChargeSGX(n uint64) {
+	if m == nil {
+		return
+	}
+	m.sgxU.Add(n)
+}
+
+// ChargeNormal records n normal instructions.
+func (m *Meter) ChargeNormal(n uint64) {
+	if m == nil {
+		return
+	}
+	m.normal.Add(n)
+}
+
+// SGX returns the SGX usermode instruction count so far.
+func (m *Meter) SGX() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.sgxU.Load()
+}
+
+// Normal returns the normal instruction count so far.
+func (m *Meter) Normal() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.normal.Load()
+}
+
+// Cycles returns the estimated CPU cycles for the current tallies using the
+// paper's conversion formula.
+func (m *Meter) Cycles() uint64 { return CyclesOf(m.SGX(), m.Normal()) }
+
+// Snapshot captures the current tallies.
+func (m *Meter) Snapshot() Tally {
+	if m == nil {
+		return Tally{}
+	}
+	return Tally{SGXU: m.sgxU.Load(), Normal: m.normal.Load()}
+}
+
+// Reset zeroes both counters.
+func (m *Meter) Reset() {
+	if m == nil {
+		return
+	}
+	m.sgxU.Store(0)
+	m.normal.Store(0)
+}
+
+// AddTally folds a tally into the meter (used when aggregating per-enclave
+// meters into a host meter).
+func (m *Meter) AddTally(t Tally) {
+	if m == nil {
+		return
+	}
+	m.sgxU.Add(t.SGXU)
+	m.normal.Add(t.Normal)
+}
+
+// A Tally is an immutable snapshot of a Meter.
+type Tally struct {
+	SGXU   uint64 // SGX usermode instructions
+	Normal uint64 // normal instructions
+}
+
+// Sub returns the element-wise difference t−o, saturating at zero.
+func (t Tally) Sub(o Tally) Tally {
+	d := Tally{}
+	if t.SGXU > o.SGXU {
+		d.SGXU = t.SGXU - o.SGXU
+	}
+	if t.Normal > o.Normal {
+		d.Normal = t.Normal - o.Normal
+	}
+	return d
+}
+
+// Add returns the element-wise sum of t and o.
+func (t Tally) Add(o Tally) Tally {
+	return Tally{SGXU: t.SGXU + o.SGXU, Normal: t.Normal + o.Normal}
+}
+
+// Cycles converts the tally to estimated CPU cycles.
+func (t Tally) Cycles() uint64 { return CyclesOf(t.SGXU, t.Normal) }
+
+// String renders the tally in the style of the paper's tables.
+func (t Tally) String() string {
+	return fmt.Sprintf("SGX(U)=%d normal=%d (≈%d cycles)", t.SGXU, t.Normal, t.Cycles())
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterZeroValue(t *testing.T) {
+	var m Meter
+	if m.SGX() != 0 || m.Normal() != 0 {
+		t.Fatalf("zero meter not zero: %v", m.Snapshot())
+	}
+	m.ChargeSGX(3)
+	m.ChargeNormal(7)
+	if m.SGX() != 3 || m.Normal() != 7 {
+		t.Fatalf("got %v", m.Snapshot())
+	}
+}
+
+func TestMeterNilSafe(t *testing.T) {
+	var m *Meter
+	m.ChargeSGX(1)
+	m.ChargeNormal(1)
+	m.Reset()
+	m.AddTally(Tally{SGXU: 1})
+	if m.SGX() != 0 || m.Normal() != 0 || m.Cycles() != 0 {
+		t.Fatal("nil meter must read zero")
+	}
+	if (m.Snapshot() != Tally{}) {
+		t.Fatal("nil meter snapshot must be zero")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.ChargeSGX(1)
+				m.ChargeNormal(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.SGX() != 16000 || m.Normal() != 32000 {
+		t.Fatalf("lost updates: %v", m.Snapshot())
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter()
+	m.ChargeSGX(5)
+	m.ChargeNormal(5)
+	m.Reset()
+	if m.SGX() != 0 || m.Normal() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCyclesFormulaMatchesPaper(t *testing.T) {
+	// §5: the challenger enclave consumes 626M cycles:
+	// 8 SGX(U) instructions and 348M normal instructions.
+	got := CyclesOf(8, 348_000_000)
+	want := uint64(8*10_000 + 348_000_000*18/10)
+	if got != want {
+		t.Fatalf("CyclesOf = %d, want %d", got, want)
+	}
+	if got < 626_000_000 || got > 627_000_000 {
+		t.Fatalf("challenger cycles %d, paper reports ≈626M", got)
+	}
+	// Remote platform (target w/ DH + quoting): ≈8033M cycles.
+	remote := CyclesOf(20, 4_338_000_000) + CyclesOf(17, 125_000_000)
+	if remote < 8_020_000_000 || remote > 8_060_000_000 {
+		t.Fatalf("remote platform cycles %d, paper reports ≈8033M", remote)
+	}
+}
+
+func TestTallyArithmetic(t *testing.T) {
+	a := Tally{SGXU: 10, Normal: 100}
+	b := Tally{SGXU: 4, Normal: 40}
+	if d := a.Sub(b); d.SGXU != 6 || d.Normal != 60 {
+		t.Fatalf("Sub = %v", d)
+	}
+	if d := b.Sub(a); d.SGXU != 0 || d.Normal != 0 {
+		t.Fatalf("Sub must saturate, got %v", d)
+	}
+	if s := a.Add(b); s.SGXU != 14 || s.Normal != 140 {
+		t.Fatalf("Add = %v", s)
+	}
+}
+
+func TestTallyPropertySubAddInverse(t *testing.T) {
+	f := func(aS, aN, bS, bN uint32) bool {
+		a := Tally{SGXU: uint64(aS), Normal: uint64(aN)}
+		b := Tally{SGXU: uint64(bS), Normal: uint64(bN)}
+		// (a+b) − b == a always (no saturation possible on this path).
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterAddTally(t *testing.T) {
+	m := NewMeter()
+	m.AddTally(Tally{SGXU: 2, Normal: 3})
+	m.AddTally(Tally{SGXU: 5, Normal: 7})
+	if m.SGX() != 7 || m.Normal() != 10 {
+		t.Fatalf("got %v", m.Snapshot())
+	}
+}
+
+func TestTallyString(t *testing.T) {
+	s := Tally{SGXU: 1, Normal: 10}.String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EPC paging (EWB / ELDU): the EPC is small, so the untrusted OS may
+// evict enclave pages to ordinary memory. The hardware guarantees the
+// paper's threat model holds anyway: evicted pages leave the EPC
+// encrypted and MACed under a CPU-held paging key, and a per-eviction
+// version token retained inside the CPU defeats replay — the OS cannot
+// feed an enclave a stale copy of its own page (rollback protection).
+
+// EvictedPage is the opaque blob the OS stores after EWB. Everything in
+// it is ciphertext or integrity-protected metadata.
+type EvictedPage struct {
+	Blob []byte
+}
+
+// Cost of one page eviction/reload: page-sized AES plus MAC.
+const (
+	CostPageEvict = PageSize*CostAESBlockPerByte + CostHMAC
+	CostPageLoad  = PageSize*CostAESBlockPerByte + CostHMAC
+)
+
+// ErrPageVersion is returned by ELDU for replayed or unknown evicted
+// pages.
+var ErrPageVersion = errors.New("core: evicted-page version check failed (replay or unknown page)")
+
+type versionKey struct {
+	owner EnclaveID
+	addr  uint64
+}
+
+// EWB evicts a frame: the plaintext page is re-encrypted under the
+// paging key with a fresh nonce, its EPCM metadata is embedded, a
+// version token is retained in the CPU, and the frame is freed. The
+// returned blob belongs to the untrusted OS.
+func (e *EPC) EWB(m *Meter, idx int) (*EvictedPage, error) {
+	m.ChargeNormal(CostPageEvict)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if idx < 0 || idx >= len(e.frames) || !e.epcm[idx].Valid {
+		return nil, ErrEPCAccess
+	}
+	ent := e.epcm[idx]
+	if ent.Type == PageSECS {
+		return nil, fmt.Errorf("core: EWB: SECS pages are not evictable here")
+	}
+	// Recover plaintext from the sealed frame.
+	page := make([]byte, PageSize)
+	copy(page, e.frames[idx])
+	e.seal(idx, page)
+
+	var nonce [16]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, err
+	}
+	pk := e.pagingKey()
+	block, err := aes.NewCipher(pk[:16])
+	if err != nil {
+		return nil, err
+	}
+	meta := make([]byte, 18)
+	binary.LittleEndian.PutUint64(meta[:8], uint64(ent.EnclaveID))
+	binary.LittleEndian.PutUint64(meta[8:16], ent.LinAddr)
+	meta[16] = byte(ent.Type)
+	meta[17] = byte(ent.Perms)
+
+	blob := make([]byte, 0, 16+18+PageSize+32)
+	blob = append(blob, nonce[:]...)
+	blob = append(blob, meta...)
+	ct := make([]byte, PageSize)
+	cipher.NewCTR(block, nonce[:]).XORKeyStream(ct, page)
+	blob = append(blob, ct...)
+	mac := hmac.New(sha256.New, pk[16:])
+	mac.Write(blob)
+	blob = mac.Sum(blob)
+
+	// Version token: the CPU remembers the MAC of the latest eviction of
+	// this (enclave, address); ELDU consumes it.
+	if e.versions == nil {
+		e.versions = make(map[versionKey][32]byte)
+	}
+	var tok [32]byte
+	copy(tok[:], blob[len(blob)-32:])
+	e.versions[versionKey{ent.EnclaveID, ent.LinAddr}] = tok
+
+	e.epcm[idx] = EPCMEntry{}
+	e.frames[idx] = nil
+	e.free = append(e.free, idx)
+	return &EvictedPage{Blob: blob}, nil
+}
+
+// ELDU reloads an evicted page into a free frame, verifying integrity
+// and the version token (each eviction loads back exactly once, and only
+// its latest version).
+func (e *EPC) ELDU(m *Meter, ep *EvictedPage) (int, error) {
+	m.ChargeNormal(CostPageLoad)
+	if ep == nil || len(ep.Blob) != 16+18+PageSize+32 {
+		return 0, ErrPageVersion
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pk := e.pagingKey()
+	body, tag := ep.Blob[:len(ep.Blob)-32], ep.Blob[len(ep.Blob)-32:]
+	mac := hmac.New(sha256.New, pk[16:])
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), tag) {
+		return 0, ErrPageVersion
+	}
+	meta := body[16 : 16+18]
+	owner := EnclaveID(binary.LittleEndian.Uint64(meta[:8]))
+	addr := binary.LittleEndian.Uint64(meta[8:16])
+	key := versionKey{owner, addr}
+	var tok [32]byte
+	copy(tok[:], tag)
+	if cur, ok := e.versions[key]; !ok || cur != tok {
+		return 0, ErrPageVersion
+	}
+	delete(e.versions, key)
+
+	if len(e.free) == 0 {
+		return 0, ErrEPCFull
+	}
+	block, err := aes.NewCipher(pk[:16])
+	if err != nil {
+		return 0, err
+	}
+	var nonce [16]byte
+	copy(nonce[:], body[:16])
+	page := make([]byte, PageSize)
+	cipher.NewCTR(block, nonce[:]).XORKeyStream(page, body[16+18:])
+
+	idx := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	e.seal(idx, page)
+	e.frames[idx] = page
+	e.epcm[idx] = EPCMEntry{
+		Valid:     true,
+		Type:      PageType(meta[16]),
+		EnclaveID: owner,
+		LinAddr:   addr,
+		Perms:     PagePerms(meta[17]),
+	}
+	return idx, nil
+}
+
+// pagingKey derives the EWB encryption/MAC key from the MEE key.
+func (e *EPC) pagingKey() [32]byte {
+	h := sha256.New()
+	h.Write([]byte("sgxnet-paging-key"))
+	h.Write(e.sealKey[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

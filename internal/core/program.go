@@ -1,0 +1,70 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// A Handler is an enclave entry point: a named function the untrusted
+// runtime can invoke with EENTER. The Env gives the handler access to
+// trusted services (metering, OCALLs to the host, EREPORT/EGETKEY).
+type Handler func(env *Env, arg []byte) ([]byte, error)
+
+// A Program is the code loaded into an enclave. Its identity — and hence
+// the enclave's MRENCLAVE — is the canonical byte image produced by Image:
+// the program name, version, configuration, and the sorted set of entry
+// point names. Two programs differ in measurement iff their images differ;
+// a "tampered" build is modelled as a program with a different image
+// (reproducing the paper's assumption of deterministic builds, §4).
+type Program struct {
+	// Name identifies the program (e.g. "tor-or", "interdomain-controller").
+	Name string
+	// Version participates in the measurement; bumping it models a new
+	// release that the community re-verifies.
+	Version string
+	// Config is build-time configuration baked into the measurement.
+	Config []byte
+	// Handlers are the enclave's entry points.
+	Handlers map[string]Handler
+	// Main, if set, runs once at first entry (ECALL "main").
+	Main Handler
+}
+
+// Image returns the canonical code image measured into MRENCLAVE.
+func (p *Program) Image() []byte {
+	names := make([]string, 0, len(p.Handlers))
+	for n := range p.Handlers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	put := func(b []byte) {
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(b)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, b...)
+	}
+	put([]byte("sgxnet-program-v1"))
+	put([]byte(p.Name))
+	put([]byte(p.Version))
+	put(p.Config)
+	for _, n := range names {
+		put([]byte(n))
+	}
+	if p.Main != nil {
+		put([]byte("main"))
+	}
+	return buf
+}
+
+// Validate reports whether the program is well-formed.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("core: program has no name")
+	}
+	if len(p.Handlers) == 0 && p.Main == nil {
+		return fmt.Errorf("core: program %q has no entry points", p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// EREPORT / report verification: the hardware primitive underlying local
+// (intra-platform) attestation, §2.2.
+
+// TargetInfo names the enclave a report is destined for. Only that enclave
+// (on the same platform) can derive the report key that verifies the MAC.
+type TargetInfo struct {
+	Measurement Measurement
+}
+
+// ReportData is the 64-byte user payload bound into a report — attestation
+// protocols put channel-binding material (e.g. a Diffie-Hellman public key
+// digest) here.
+type ReportData [64]byte
+
+// ReportDataFrom hashes arbitrary bytes into a ReportData value.
+func ReportDataFrom(b []byte) ReportData {
+	var d ReportData
+	sum := sha256.Sum256(b)
+	copy(d[:], sum[:])
+	return d
+}
+
+// Report is the EREPORT output: the issuing enclave's identities plus user
+// data, MACed with the target's report key.
+type Report struct {
+	MREnclave  Measurement
+	MRSigner   Measurement
+	Attributes Attributes
+	Data       ReportData
+	KeyID      [16]byte
+	MAC        [32]byte
+}
+
+func (r *Report) body() []byte {
+	buf := make([]byte, 0, 32+32+1+64+16)
+	buf = append(buf, r.MREnclave[:]...)
+	buf = append(buf, r.MRSigner[:]...)
+	buf = append(buf, r.Attributes.encode())
+	buf = append(buf, r.Data[:]...)
+	buf = append(buf, r.KeyID[:]...)
+	return buf
+}
+
+// Marshal serializes the report for transport.
+func (r *Report) Marshal() []byte {
+	buf := make([]byte, 0, 32+32+1+64+16+32)
+	buf = append(buf, r.body()...)
+	buf = append(buf, r.MAC[:]...)
+	return buf
+}
+
+// UnmarshalReport parses a serialized report.
+func UnmarshalReport(b []byte) (Report, bool) {
+	const n = 32 + 32 + 1 + 64 + 16 + 32
+	if len(b) != n {
+		return Report{}, false
+	}
+	var r Report
+	copy(r.MREnclave[:], b[:32])
+	copy(r.MRSigner[:], b[32:64])
+	attr := b[64]
+	r.Attributes = Attributes{Debug: attr&1 != 0, Architectural: attr&2 != 0}
+	copy(r.Data[:], b[65:129])
+	copy(r.KeyID[:], b[129:145])
+	copy(r.MAC[:], b[145:177])
+	return r, true
+}
+
+// EReport executes the EREPORT instruction: it builds a report about the
+// calling enclave, MACed with the target enclave's report key (which the
+// instruction derives inside the CPU; the calling enclave never sees it).
+func (env *Env) EReport(target TargetInfo, data ReportData) Report {
+	e := env.e
+	e.meter.ChargeSGX(1) // EREPORT
+	e.meter.ChargeNormal(CostHMAC)
+	r := Report{
+		MREnclave:  e.mrenclave,
+		MRSigner:   e.mrsigner,
+		Attributes: e.attrs,
+		Data:       data,
+		KeyID:      e.keyID,
+	}
+	key := e.plat.deriveKey("report", target.Measurement)
+	mac := hmac.New(sha256.New, key[:])
+	mac.Write(r.body())
+	copy(r.MAC[:], mac.Sum(nil))
+	return r
+}
+
+// VerifyReport checks a report addressed to the calling enclave: it
+// derives this enclave's report key via EGETKEY and recomputes the MAC. A
+// true result proves the reporting enclave runs on the same platform and
+// has the identities the report claims.
+func (env *Env) VerifyReport(r Report) bool {
+	key, err := env.GetKey(KeyReport) // charges the EGETKEY
+	if err != nil {
+		return false
+	}
+	env.ChargeNormal(CostHMAC)
+	mac := hmac.New(sha256.New, key[:])
+	mac.Write(r.body())
+	var want [32]byte
+	copy(want[:], mac.Sum(nil))
+	return hmac.Equal(want[:], r.MAC[:])
+}
+
+// Nonce is a convenience for protocols: a 64-bit counter rendered into
+// ReportData alongside a payload digest.
+func NonceData(nonce uint64, payload []byte) ReportData {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], nonce)
+	return ReportDataFrom(append(buf[:], payload...))
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Sealed storage: enclaves persist state across restarts by encrypting
+// it under an EGETKEY-derived sealing key. MRSIGNER-bound sealing (the
+// default here, as in most SGX software) lets any enclave from the same
+// vendor unseal — e.g. an upgraded directory authority build reading the
+// previous version's relay list — while MRENCLAVE-bound sealing restricts
+// unsealing to the identical build.
+
+// SealedBlob layout: nonce(12) ‖ ciphertext ‖ HMAC-SHA256 tag(32).
+const sealOverhead = 12 + 32
+
+// ErrUnseal reports a failed unseal (wrong key, tampering, truncation).
+var ErrUnseal = errors.New("core: unseal failed")
+
+// SealData encrypts data under the key named by name (KeySeal or
+// KeySealEnclave), binding it to this platform and the enclave's signer
+// or measurement. Charges the EGETKEY plus symmetric costs.
+func (env *Env) SealData(name KeyName, data []byte) ([]byte, error) {
+	if name != KeySeal && name != KeySealEnclave {
+		return nil, fmt.Errorf("core: SealData: key %q is not a sealing key", name)
+	}
+	key, err := env.GetKey(name)
+	if err != nil {
+		return nil, err
+	}
+	env.ChargeNormal(CostAESKeySchedule + uint64(len(data))*CostAESBlockPerByte + CostHMAC)
+	block, err := aes.NewCipher(key[:16])
+	if err != nil {
+		return nil, err
+	}
+	var nonce [12]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 12+len(data), 12+len(data)+32)
+	copy(out[:12], nonce[:])
+	var iv [16]byte
+	copy(iv[:], nonce[:])
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out[12:], data)
+	mac := hmac.New(sha256.New, key[16:])
+	mac.Write(out)
+	return mac.Sum(out), nil
+}
+
+// UnsealData decrypts a sealed blob. It fails for blobs sealed by a
+// different signer/measurement (per key name), on a different platform,
+// or tampered with in untrusted storage.
+func (env *Env) UnsealData(name KeyName, blob []byte) ([]byte, error) {
+	if name != KeySeal && name != KeySealEnclave {
+		return nil, fmt.Errorf("core: UnsealData: key %q is not a sealing key", name)
+	}
+	if len(blob) < sealOverhead {
+		return nil, ErrUnseal
+	}
+	key, err := env.GetKey(name)
+	if err != nil {
+		return nil, err
+	}
+	env.ChargeNormal(CostAESKeySchedule + uint64(len(blob))*CostAESBlockPerByte + CostHMAC)
+	body, tag := blob[:len(blob)-32], blob[len(blob)-32:]
+	mac := hmac.New(sha256.New, key[16:])
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), tag) {
+		return nil, ErrUnseal
+	}
+	block, err := aes.NewCipher(key[:16])
+	if err != nil {
+		return nil, err
+	}
+	var iv [16]byte
+	copy(iv[:], body[:12])
+	out := make([]byte, len(body)-12)
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out, body[12:])
+	return out, nil
+}

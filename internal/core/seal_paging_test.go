@@ -1,0 +1,343 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// --- sealed storage ---
+
+func sealerProgram(name string) *Program {
+	return &Program{
+		Name:    name,
+		Version: "1",
+		Handlers: map[string]Handler{
+			"seal": func(env *Env, arg []byte) ([]byte, error) {
+				return env.SealData(KeySeal, arg)
+			},
+			"unseal": func(env *Env, arg []byte) ([]byte, error) {
+				return env.UnsealData(KeySeal, arg)
+			},
+			"seal-mr": func(env *Env, arg []byte) ([]byte, error) {
+				return env.SealData(KeySealEnclave, arg)
+			},
+			"unseal-mr": func(env *Env, arg []byte) ([]byte, error) {
+				return env.UnsealData(KeySealEnclave, arg)
+			},
+		},
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	p := testPlatform(t)
+	e, err := p.Launch(sealerProgram("sealer"), mustSigner(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("directory authority signing key material")
+	blob, err := e.Call("seal", secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, secret) {
+		t.Fatal("sealed blob leaks plaintext")
+	}
+	got, err := e.Call("unseal", blob)
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestSealSurvivesEnclaveRestart(t *testing.T) {
+	p := testPlatform(t)
+	s := mustSigner(t)
+	e1, err := p.Launch(sealerProgram("sealer"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := e1.Call("seal", []byte("state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Destroy()
+	// Same build, same signer, fresh enclave: MRSIGNER sealing unseals.
+	e2, err := p.Launch(sealerProgram("sealer"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e2.Call("unseal", blob)
+	if err != nil || string(got) != "state" {
+		t.Fatalf("restart unseal: %q %v", got, err)
+	}
+}
+
+func TestSealSignerAndMeasurementBinding(t *testing.T) {
+	p := testPlatform(t)
+	s1, s2 := mustSigner(t), mustSigner(t)
+	a, err := p.Launch(sealerProgram("app-a"), s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSameSigner, err := p.Launch(sealerProgram("app-b"), s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cOtherSigner, err := p.Launch(sealerProgram("app-c"), s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MRSIGNER-bound: same-vendor enclave unseals, other vendor cannot.
+	blob, err := a.Call("seal", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bSameSigner.Call("unseal", blob); err != nil {
+		t.Fatalf("same-signer unseal failed: %v", err)
+	}
+	if _, err := cOtherSigner.Call("unseal", blob); err == nil {
+		t.Fatal("foreign-signer unseal succeeded")
+	}
+	// MRENCLAVE-bound: only the identical build unseals.
+	blobMR, err := a.Call("seal-mr", []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bSameSigner.Call("unseal-mr", blobMR); err == nil {
+		t.Fatal("different build unsealed an MRENCLAVE-bound blob")
+	}
+	if got, err := a.Call("unseal-mr", blobMR); err != nil || string(got) != "y" {
+		t.Fatalf("self unseal-mr: %q %v", got, err)
+	}
+}
+
+func TestSealPlatformBinding(t *testing.T) {
+	p1, p2 := testPlatform(t), testPlatform(t)
+	s := mustSigner(t)
+	a, err := p1.Launch(sealerProgram("sealer"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p2.Launch(sealerProgram("sealer"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := a.Call("seal", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Call("unseal", blob); err == nil {
+		t.Fatal("cross-platform unseal succeeded")
+	}
+}
+
+func TestSealTamperDetected(t *testing.T) {
+	p := testPlatform(t)
+	e, err := p.Launch(sealerProgram("sealer"), mustSigner(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := e.Call("seal", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(blob); i += 9 {
+		cp := append([]byte{}, blob...)
+		cp[i] ^= 1
+		if _, err := e.Call("unseal", cp); err == nil {
+			t.Fatalf("tampered byte %d unsealed", i)
+		}
+	}
+	if _, err := e.Call("unseal", blob[:10]); err == nil {
+		t.Fatal("truncated blob unsealed")
+	}
+}
+
+func TestSealPropertyRoundTrip(t *testing.T) {
+	p := testPlatform(t)
+	e, err := p.Launch(sealerProgram("sealer"), mustSigner(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte) bool {
+		blob, err := e.Call("seal", data)
+		if err != nil {
+			return false
+		}
+		got, err := e.Call("unseal", blob)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealRejectsNonSealingKey(t *testing.T) {
+	p := testPlatform(t)
+	prog := &Program{
+		Name:    "badseal",
+		Version: "1",
+		Handlers: map[string]Handler{
+			"x": func(env *Env, arg []byte) ([]byte, error) {
+				if _, err := env.SealData(KeyReport, arg); err == nil {
+					return nil, nil
+				}
+				if _, err := env.UnsealData(KeyReport, arg); err == nil {
+					return nil, nil
+				}
+				return []byte("refused"), nil
+			},
+		},
+	}
+	e, err := p.Launch(prog, mustSigner(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Call("x", []byte("d"))
+	if err != nil || string(out) != "refused" {
+		t.Fatalf("%q %v", out, err)
+	}
+}
+
+// --- EPC paging ---
+
+func TestEWBELDURoundTrip(t *testing.T) {
+	e := testEPC(4)
+	m := NewMeter()
+	idx, err := e.Alloc(5, PageREG, 0x7000, PermR|PermW, []byte("page content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := e.FreeCount()
+	ev, err := e.EWB(m, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.FreeCount() != freeBefore+1 {
+		t.Fatal("EWB did not free the frame")
+	}
+	if bytes.Contains(ev.Blob, []byte("page content")) {
+		t.Fatal("evicted blob leaks plaintext")
+	}
+	idx2, err := e.ELDU(m, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Read(5, idx2)
+	if err != nil || !bytes.Equal(got[:12], []byte("page content")) {
+		t.Fatalf("%q %v", got[:12], err)
+	}
+	ent, _ := e.Entry(idx2)
+	if ent.LinAddr != 0x7000 || ent.EnclaveID != 5 || ent.Perms != PermR|PermW {
+		t.Fatalf("metadata lost: %+v", ent)
+	}
+	if m.Normal() != CostPageEvict+CostPageLoad {
+		t.Fatalf("charged %d", m.Normal())
+	}
+}
+
+func TestELDURejectsReplay(t *testing.T) {
+	e := testEPC(4)
+	m := NewMeter()
+	idx, _ := e.Alloc(5, PageREG, 0x1000, PermR|PermW, []byte("v1"))
+	ev1, err := e.EWB(m, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load, modify, evict again → ev2 is the current version.
+	idx, err = e.ELDU(m, ev1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(5, idx, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := e.EWB(m, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rollback attack: the OS replays the stale v1 blob.
+	if _, err := e.ELDU(m, ev1); err != ErrPageVersion {
+		t.Fatalf("stale page accepted: %v", err)
+	}
+	// The genuine latest version loads.
+	idx, err = e.ELDU(m, ev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.Read(5, idx)
+	if !bytes.Equal(got[:2], []byte("v2")) {
+		t.Fatalf("got %q", got[:2])
+	}
+	// Double-load of the same blob also fails (token consumed).
+	if _, err := e.ELDU(m, ev2); err != ErrPageVersion {
+		t.Fatalf("double load accepted: %v", err)
+	}
+}
+
+func TestELDURejectsTamperedBlob(t *testing.T) {
+	e := testEPC(4)
+	m := NewMeter()
+	idx, _ := e.Alloc(5, PageREG, 0x1000, PermR, []byte("data"))
+	ev, err := e.EWB(m, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := append([]byte{}, ev.Blob...)
+	cp[40] ^= 1
+	if _, err := e.ELDU(m, &EvictedPage{Blob: cp}); err != ErrPageVersion {
+		t.Fatalf("tampered blob accepted: %v", err)
+	}
+	if _, err := e.ELDU(m, &EvictedPage{Blob: cp[:30]}); err != ErrPageVersion {
+		t.Fatalf("short blob accepted: %v", err)
+	}
+	if _, err := e.ELDU(m, nil); err != ErrPageVersion {
+		t.Fatalf("nil blob accepted: %v", err)
+	}
+}
+
+func TestEWBEnablesOvercommit(t *testing.T) {
+	// An EPC with 2 frames can still host 5 pages' worth of state via
+	// OS-driven paging.
+	e := testEPC(2)
+	m := NewMeter()
+	blobs := make(map[int]*EvictedPage)
+	for i := 0; i < 5; i++ {
+		idx, err := e.Alloc(1, PageREG, uint64(i)*PageSize, PermR|PermW, []byte{byte(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := e.EWB(m, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs[i] = ev
+	}
+	for i := 4; i >= 0; i-- {
+		idx, err := e.ELDU(m, blobs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Read(1, idx)
+		if err != nil || got[0] != byte(i+1) {
+			t.Fatalf("page %d: %v %v", i, got[0], err)
+		}
+		ev, err := e.EWB(m, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs[i] = ev
+	}
+}
+
+func TestEWBRejectsInvalidAndSECS(t *testing.T) {
+	e := testEPC(4)
+	m := NewMeter()
+	if _, err := e.EWB(m, 99); err != ErrEPCAccess {
+		t.Fatalf("out-of-range EWB: %v", err)
+	}
+	idx, _ := e.Alloc(0, PageSECS, 0, PermR, []byte("SECS"))
+	if _, err := e.EWB(m, idx); err == nil {
+		t.Fatal("SECS page evicted")
+	}
+}

@@ -1,0 +1,60 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation (§5) from live runs of the reproduced system, plus the
+// ablation experiments called out in DESIGN.md. Each experiment returns
+// structured results (for tests and benchmarks) and renders a text table
+// that mirrors the paper's layout, with the paper's published values
+// alongside the measured ones.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Paper-published values, for side-by-side rendering.
+var paper = struct {
+	table1 map[string][2]uint64 // role+dh → {SGX(U), normal}
+	table2 map[string][2]uint64 // config → {SGX(U), normal}
+	table4 map[string]uint64    // cell → normal (or SGX(U))
+}{
+	table1: map[string][2]uint64{
+		"target/noDH":     {20, 154_000_000},
+		"target/DH":       {20, 4_338_000_000},
+		"quoting/noDH":    {17, 125_000_000},
+		"quoting/DH":      {17, 125_000_000},
+		"challenger/noDH": {8, 124_000_000},
+		"challenger/DH":   {8, 348_000_000},
+	},
+	table2: map[string][2]uint64{
+		"1/plain":    {6, 13_000},
+		"1/crypto":   {6, 97_000},
+		"100/plain":  {204, 136_000},
+		"100/crypto": {204, 972_000},
+	},
+	table4: map[string]uint64{
+		"inter/native":     74_000_000,
+		"inter/sgx":        135_000_000,
+		"inter/sgx/sgxu":   1448,
+		"aslocal/native":   13_000_000,
+		"aslocal/sgx":      24_000_000,
+		"aslocal/sgx/sgxu": 42,
+	},
+}
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func fmtM(v uint64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.2fG", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.0fM", float64(v)/1e6)
+	case v >= 1_000:
+		return fmt.Sprintf("%.0fK", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -1,0 +1,118 @@
+// Package middlebox implements the paper's §3.3 application: secure
+// in-network functions for TLS traffic. Endpoints remote-attest an
+// in-path middlebox's enclave and hand it their TLS session keys over
+// the attestation-bootstrapped secure channel; the middlebox then
+// performs deep packet inspection on traffic it could not otherwise
+// read, while the endpoints retain cryptographic assurance about exactly
+// which code is doing the inspecting.
+package middlebox
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DPI is a multi-pattern matcher (Aho–Corasick) — the inspection engine
+// running inside the middlebox enclave.
+type DPI struct {
+	patterns []string
+	// Automaton: per-node transition map, failure links, and output
+	// pattern indices.
+	next []map[byte]int
+	fail []int
+	out  [][]int
+}
+
+// NewDPI compiles a pattern set into an Aho–Corasick automaton.
+func NewDPI(patterns []string) (*DPI, error) {
+	d := &DPI{patterns: append([]string(nil), patterns...)}
+	d.next = []map[byte]int{{}}
+	d.fail = []int{0}
+	d.out = [][]int{nil}
+	for i, p := range patterns {
+		if p == "" {
+			return nil, fmt.Errorf("middlebox: empty DPI pattern %d", i)
+		}
+		cur := 0
+		for j := 0; j < len(p); j++ {
+			c := p[j]
+			nxt, ok := d.next[cur][c]
+			if !ok {
+				nxt = len(d.next)
+				d.next = append(d.next, map[byte]int{})
+				d.fail = append(d.fail, 0)
+				d.out = append(d.out, nil)
+				d.next[cur][c] = nxt
+			}
+			cur = nxt
+		}
+		d.out[cur] = append(d.out[cur], i)
+	}
+	// BFS to build failure links: fail(v) for child v of u on byte c is
+	// the goto of u's failure chain on c. Failure targets are always
+	// shallower nodes, so their output sets are complete when merged.
+	queue := make([]int, 0, len(d.next))
+	for _, v := range d.next[0] {
+		queue = append(queue, v)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for c, v := range d.next[u] {
+			queue = append(queue, v)
+			f := d.fail[u]
+			for f != 0 {
+				if _, ok := d.next[f][c]; ok {
+					break
+				}
+				f = d.fail[f]
+			}
+			if w, ok := d.next[f][c]; ok && w != v {
+				d.fail[v] = w
+			} else {
+				d.fail[v] = 0
+			}
+			d.out[v] = append(d.out[v], d.out[d.fail[v]]...)
+		}
+	}
+	return d, nil
+}
+
+// Match is one DPI hit.
+type Match struct {
+	Pattern string
+	// Offset is the byte offset of the match end in the scanned input.
+	Offset int
+}
+
+// Scan runs the automaton over data and returns all pattern occurrences.
+func (d *DPI) Scan(data []byte) []Match {
+	var hits []Match
+	s := 0
+	for i := 0; i < len(data); i++ {
+		c := data[i]
+		for {
+			if nxt, ok := d.next[s][c]; ok {
+				s = nxt
+				break
+			}
+			if s == 0 {
+				break
+			}
+			s = d.fail[s]
+		}
+		for _, pi := range d.out[s] {
+			hits = append(hits, Match{Pattern: d.patterns[pi], Offset: i + 1})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Offset != hits[j].Offset {
+			return hits[i].Offset < hits[j].Offset
+		}
+		return hits[i].Pattern < hits[j].Pattern
+	})
+	return hits
+}
+
+// Patterns returns the compiled pattern set.
+func (d *DPI) Patterns() []string { return append([]string(nil), d.patterns...) }

@@ -1,0 +1,178 @@
+package middlebox
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/sgxcrypto"
+	"sgxnet/internal/tlslite"
+)
+
+// mcTLS-style comparison point (§3.3 cites mcTLS [28] as the
+// protocol-modification alternative to SGX middleboxes). This is a
+// minimal model of its key property: endpoints hand session/context keys
+// to middleboxes identified by a *public key*, with no statement about
+// what code runs behind that key. Provisioning is cheap — one
+// ephemeral-static Diffie-Hellman on first contact, cached channel
+// afterwards — but a middlebox that lies about its software receives the
+// keys all the same. The SGX design (mbox.go) pays a full remote
+// attestation on first contact and in exchange binds key release to a
+// measured build.
+//
+// The eval ablation quantifies the cost side; TestMCTLSTrustGap
+// demonstrates the trust side.
+
+// MCTLSBox is a middlebox in the mcTLS trust model: identified by a
+// static DH public key, trusted by fiat.
+type MCTLSBox struct {
+	Name string
+	// Tampered marks a box whose operator modified the software. Nothing
+	// in the protocol can see this flag — that is the point.
+	Tampered bool
+
+	static *sgxcrypto.DHKey
+	dpi    *DPI
+
+	mu       sync.Mutex
+	channels map[string]*sgxcrypto.Channel // per provisioning peer
+	keyring  []tlslite.Keys
+	alerts   []Alert
+}
+
+// NewMCTLSBox creates a box with a fresh static keypair.
+func NewMCTLSBox(m *core.Meter, name string, patterns []string, tampered bool) (*MCTLSBox, error) {
+	dpi, err := NewDPI(patterns)
+	if err != nil {
+		return nil, err
+	}
+	static, err := sgxcrypto.GenerateKey(m, sgxcrypto.StandardGroup(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return &MCTLSBox{
+		Name:     name,
+		Tampered: tampered,
+		static:   static,
+		dpi:      dpi,
+		channels: make(map[string]*sgxcrypto.Channel),
+	}, nil
+}
+
+// PublicKey returns the box's static public value — all an endpoint ever
+// learns about it.
+func (b *MCTLSBox) PublicKey() *big.Int { return new(big.Int).Set(b.static.Public) }
+
+// MCTLSEndpoint is an endpoint's cached provisioning state toward boxes.
+type MCTLSEndpoint struct {
+	Name string
+
+	mu       sync.Mutex
+	channels map[string]*sgxcrypto.Channel
+}
+
+// NewMCTLSEndpoint creates endpoint state.
+func NewMCTLSEndpoint(name string) *MCTLSEndpoint {
+	return &MCTLSEndpoint{Name: name, channels: make(map[string]*sgxcrypto.Channel)}
+}
+
+// Provision hands the session key block to the box: on first contact an
+// ephemeral-static DH establishes a cached channel; afterwards only a
+// channel seal/open per session. No attestation anywhere.
+func (e *MCTLSEndpoint) Provision(m *core.Meter, box *MCTLSBox, keys tlslite.Keys) error {
+	e.mu.Lock()
+	ch := e.channels[box.Name]
+	e.mu.Unlock()
+	if ch == nil {
+		eph, err := sgxcrypto.GenerateKey(m, sgxcrypto.StandardGroup(), nil)
+		if err != nil {
+			return err
+		}
+		secret, err := eph.Shared(m, box.PublicKey())
+		if err != nil {
+			return err
+		}
+		ch, err = sgxcrypto.NewChannel(m, secret)
+		if err != nil {
+			return err
+		}
+		e.mu.Lock()
+		e.channels[box.Name] = ch
+		e.mu.Unlock()
+		// The box derives the same channel from its static key.
+		boxSecret, err := box.static.Shared(m, eph.Public)
+		if err != nil {
+			return err
+		}
+		boxCh, err := sgxcrypto.NewChannel(m, boxSecret)
+		if err != nil {
+			return err
+		}
+		box.mu.Lock()
+		box.channels[e.Name] = boxCh
+		box.mu.Unlock()
+	}
+	sealed, err := ch.Seal(m, keys.Marshal())
+	if err != nil {
+		return err
+	}
+	return box.acceptKeys(m, e.Name, sealed)
+}
+
+func (b *MCTLSBox) acceptKeys(m *core.Meter, from string, sealed []byte) error {
+	b.mu.Lock()
+	ch := b.channels[from]
+	b.mu.Unlock()
+	if ch == nil {
+		return fmt.Errorf("middlebox: mcTLS box %s has no channel with %s", b.Name, from)
+	}
+	plain, err := ch.Open(m, sealed)
+	if err != nil {
+		return err
+	}
+	keys, ok := tlslite.UnmarshalKeys(plain)
+	if !ok {
+		return fmt.Errorf("middlebox: malformed mcTLS key block")
+	}
+	b.mu.Lock()
+	b.keyring = append(b.keyring, keys)
+	b.mu.Unlock()
+	return nil
+}
+
+// HasKeys reports whether the box holds any session keys — what a
+// tampered box exfiltrates in the attack demonstration.
+func (b *MCTLSBox) HasKeys() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.keyring) > 0
+}
+
+// Inspect scans one record with the provisioned keys (same passive path
+// as the SGX middlebox, minus the enclave).
+func (b *MCTLSBox) Inspect(m *core.Meter, flow uint32, frame []byte) {
+	b.mu.Lock()
+	ring := append([]tlslite.Keys(nil), b.keyring...)
+	b.mu.Unlock()
+	for _, keys := range ring {
+		codec := tlslite.NewCodec(keys)
+		dir, _, plain, err := codec.OpenAny(m, frame)
+		if err != nil {
+			continue
+		}
+		b.mu.Lock()
+		for _, hit := range b.dpi.Scan(plain) {
+			b.alerts = append(b.alerts, Alert{Flow: flow, Direction: dir, Match: hit})
+		}
+		b.mu.Unlock()
+		return
+	}
+}
+
+// Alerts returns the box's DPI hits.
+func (b *MCTLSBox) Alerts() []Alert {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Alert(nil), b.alerts...)
+}

@@ -1,0 +1,253 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sgxnet/internal/core"
+)
+
+func newNet(t *testing.T, names ...string) (*Network, map[string]*SimHost) {
+	t.Helper()
+	n := New()
+	hosts := make(map[string]*SimHost)
+	for _, name := range names {
+		h, err := n.AddHost(name, core.PlatformConfig{EPCFrames: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[name] = h
+	}
+	return n, hosts
+}
+
+func TestDialSendRecv(t *testing.T) {
+	_, hs := newNet(t, "a", "b")
+	l, err := hs["b"].Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		msg, err := c.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- c.Send(append([]byte("re:"), msg...))
+	}()
+	c, err := hs["a"].Dial("b", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.Request([]byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "re:ping" {
+		t.Fatalf("reply = %q", reply)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialUnknown(t *testing.T) {
+	_, hs := newNet(t, "a", "b")
+	if _, err := hs["a"].Dial("ghost", "svc"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := hs["a"].Dial("b", "nosvc"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateHostAndListener(t *testing.T) {
+	n, hs := newNet(t, "a")
+	if _, err := n.AddHost("a", core.PlatformConfig{}); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	if _, err := hs["a"].Listen("s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hs["a"].Listen("s"); err == nil {
+		t.Fatal("duplicate listener accepted")
+	}
+}
+
+func TestCloseUnblocksBothEnds(t *testing.T) {
+	_, hs := newNet(t, "a", "b")
+	l, _ := hs["b"].Listen("svc")
+	acc := make(chan *Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		acc <- c
+	}()
+	c, err := hs["a"].Dial("b", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := <-acc
+	c.Close()
+	c.Close() // idempotent, shared once must not double-close
+	if _, err := peer.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer recv after close: %v", err)
+	}
+	if err := peer.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer send after close: %v", err)
+	}
+}
+
+func TestRecvDrainsDeliveredBeforeClose(t *testing.T) {
+	_, hs := newNet(t, "a", "b")
+	l, _ := hs["b"].Listen("svc")
+	acc := make(chan *Conn, 1)
+	go func() { c, _ := l.Accept(); acc <- c }()
+	c, err := hs["a"].Dial("b", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := <-acc
+	if err := c.Send([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	got, err := peer.Recv()
+	if err != nil || string(got) != "last words" {
+		t.Fatalf("got %q, %v — in-flight data lost on close", got, err)
+	}
+}
+
+func TestRemoveHostStopsListeners(t *testing.T) {
+	n, hs := newNet(t, "a", "b")
+	l, _ := hs["b"].Listen("svc")
+	n.RemoveHost("b")
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Fatal("listener survived host removal")
+	}
+	if _, err := hs["a"].Dial("b", "svc"); !errors.Is(err, ErrNoRoute) {
+		t.Fatal("dial to removed host succeeded")
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	n, hs := newNet(t, "a", "b")
+	l, _ := hs["b"].Listen("svc")
+	go l.Serve(func(c *Conn) {
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	})
+	c, err := hs["a"].Dial("b", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Send(make([]byte, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Messages() != 5 || n.Bytes() != 50 {
+		t.Fatalf("messages=%d bytes=%d", n.Messages(), n.Bytes())
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	_, hs := newNet(t, "a", "b")
+	l, _ := hs["b"].Listen("echo")
+	go l.Serve(func(c *Conn) {
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if err := c.Send(m); err != nil {
+				return
+			}
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := hs["a"].Dial("b", "echo")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			msg := []byte(fmt.Sprintf("msg-%d", i))
+			got, err := c.Request(msg)
+			if err != nil || !bytes.Equal(got, msg) {
+				t.Errorf("conn %d: got %q err %v", i, got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestHostsListing(t *testing.T) {
+	n, _ := newNet(t, "x", "y", "z")
+	if got := len(n.Hosts()); got != 3 {
+		t.Fatalf("hosts = %d", got)
+	}
+	if _, ok := n.Host("y"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := n.Host("nope"); ok {
+		t.Fatal("phantom host")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	_, hs := newNet(t, "a", "b")
+	l, _ := hs["b"].Listen("svc")
+	acc := make(chan *Conn, 1)
+	go func() { c, _ := l.Accept(); acc <- c }()
+	c, err := hs["a"].Dial("b", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := <-acc
+	// Corrupt: payload arrives altered.
+	c.InjectCorrupt(1)
+	if err := c.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := peer.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == "hello" {
+		t.Fatal("corruption did not apply")
+	}
+	// Next message is clean.
+	if err := c.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := peer.Recv(); string(got) != "hello" {
+		t.Fatalf("clean message altered: %q", got)
+	}
+	// Drop: message vanishes; the following one arrives.
+	c.InjectDrop(1)
+	if err := c.Send([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := peer.Recv(); string(got) != "after" {
+		t.Fatalf("dropped message delivered: %q", got)
+	}
+}

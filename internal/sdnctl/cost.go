@@ -1,0 +1,56 @@
+package sdnctl
+
+// Application-level instruction costs, calibrated so the canonical
+// workload of the paper's §5 — a 30-AS random topology with business
+// relationships and local preferences, seed 42 — reproduces Table 4:
+//
+//	inter-domain controller: 74M normal instructions natively,
+//	135M (+82%) with 1448 SGX(U) inside the enclave;
+//	AS-local controller:     13M natively, 24M (+69%) with 42 SGX(U).
+//
+// At that workload the centralized computation performs 1158 route-entry
+// updates and 8107 candidate evaluations over 30 policies, which fixes
+// the constants below (see DESIGN.md §4). All scale organically with the
+// AS count, producing Figure 3's growth.
+const (
+	// CostRouteUpdate is charged per RIB-entry adoption or change during
+	// path computation.
+	CostRouteUpdate = 20_000
+
+	// CostRouteEval is charged per candidate route considered by the
+	// decision process.
+	CostRouteEval = 6_000
+
+	// CostPolicyIngest is charged per AS policy parsed and installed
+	// into the controller's policy store.
+	CostPolicyIngest = 70_000
+
+	// CostPolicyBuild is charged per neighbor entry when an AS-local
+	// controller assembles its policy message.
+	CostPolicyBuild = 350_000
+
+	// CostRouteInstall is charged per route the AS-local controller
+	// installs into its local FIB.
+	CostRouteInstall = 400_000
+
+	// CostRouteValidate is the in-enclave-only sanity check per installed
+	// route: enclave code must not trust data crossing the boundary
+	// (Iago attacks, §6), so the SGX AS-local controller validates every
+	// route it receives before installing it.
+	CostRouteValidate = 250_000
+
+	// CostPredicateEval is charged per route examined while verifying a
+	// policy predicate (§3.1 "the inter-domain controller verifies this
+	// over all routes that A receives").
+	CostPredicateEval = 8_000
+
+	// allocsPerEvals is the controller's allocation rate: one heap
+	// refill per this many candidate evaluations (scratch path buffers
+	// are pool-allocated). Together with core.CostEnclaveAllocFixed this
+	// reproduces Table 4's SGX(U) count for the inter-domain controller.
+	allocsPerEvals = 14
+
+	// allocsPerRoutes is the AS-local controller's allocation rate while
+	// installing routes (route entries are allocated two per chunk).
+	allocsPerRoutes = 2
+)

@@ -1,0 +1,219 @@
+package sdnctl
+
+import (
+	"fmt"
+
+	"sgxnet/internal/attest"
+	"sgxnet/internal/bgp"
+	"sgxnet/internal/core"
+	"sgxnet/internal/netsim"
+	"sgxnet/internal/topo"
+)
+
+// End-to-end deployment drivers for the evaluation: RunSGX and RunNative
+// execute the identical workload (policy upload → compute → route
+// push-back) and report per-controller instruction tallies for the
+// steady state, with launch and attestation excluded exactly as the
+// paper's Table 4 does.
+
+// RunReport is the outcome of one deployment run.
+type RunReport struct {
+	N int
+	// InterDomain is the inter-domain controller's steady-state tally.
+	InterDomain core.Tally
+	// ASLocal holds each AS-local controller's steady-state tally.
+	ASLocal []core.Tally
+	// Attestations is the number of remote attestations performed
+	// (Table 3: equals the number of AS controllers in the SGX run).
+	Attestations int
+	// Stats is the route computation's work profile.
+	Stats bgp.Stats
+	// RIBs is the computed routing state (evaluation hook).
+	RIBs map[int]bgp.RIB
+	// Installed maps ASN → routes the AS-local controller installed.
+	Installed map[int][]bgp.Route
+}
+
+// ASLocalAvg averages the AS-local tallies.
+func (r *RunReport) ASLocalAvg() core.Tally {
+	if len(r.ASLocal) == 0 {
+		return core.Tally{}
+	}
+	var sum core.Tally
+	for _, t := range r.ASLocal {
+		sum = sum.Add(t)
+	}
+	return core.Tally{SGXU: sum.SGXU / uint64(len(r.ASLocal)), Normal: sum.Normal / uint64(len(r.ASLocal))}
+}
+
+// RunSGX deploys the SGX-enabled design on the given topology: one
+// controller host plus one host per AS, all SGX platforms with quoting
+// enclaves; every AS-local controller remote-attests the inter-domain
+// controller (with DH) before uploading its policy.
+func RunSGX(t *topo.Topology) (*RunReport, error) {
+	return RunSGXWithPredicates(t, nil)
+}
+
+// RunSGXWithPredicates runs the SGX deployment and, after routes are
+// installed (and after the Table 4 measurement window closes), hands the
+// live controller and AS-local controllers to extra — for predicate
+// registration/verification (§3.1) or dynamic reconfiguration.
+func RunSGXWithPredicates(t *topo.Topology, extra func(ctl *Controller, locals []*ASLocal) error) (*RunReport, error) {
+	n := t.N()
+	net := netsim.New()
+	arch, err := core.NewSigner()
+	if err != nil {
+		return nil, err
+	}
+	newHost := func(name string) (*netsim.SimHost, error) {
+		plat, err := core.NewPlatform(name, core.PlatformConfig{EPCFrames: 4096, ArchSigner: arch.MRSigner()})
+		if err != nil {
+			return nil, err
+		}
+		return net.AddHostWithPlatform(name, plat)
+	}
+	ctlHost, err := newHost("controller")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := attest.NewAgent(ctlHost, arch); err != nil {
+		return nil, err
+	}
+	signer, err := core.NewSigner()
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := LaunchController(ctlHost, signer, n)
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+
+	ctlMR := ControllerMeasurement(n)
+	policies := PoliciesFromTopology(t)
+	locals := make([]*ASLocal, n)
+	for a := 0; a < n; a++ {
+		host, err := newHost(fmt.Sprintf("as%d", a))
+		if err != nil {
+			return nil, err
+		}
+		asl, err := LaunchASLocal(host, signer, policies[a], ctlMR)
+		if err != nil {
+			return nil, err
+		}
+		locals[a] = asl
+		defer asl.Close()
+	}
+
+	// Attestation phase (one remote attestation per AS controller).
+	attestations := 0
+	for _, asl := range locals {
+		if err := asl.Connect("controller"); err != nil {
+			return nil, err
+		}
+		attestations++
+	}
+
+	// Steady state begins here: reset every meter so launch/attestation
+	// costs are excluded, as in Table 4.
+	ctl.Enclave.Meter().Reset()
+	for _, asl := range locals {
+		asl.Enclave.Meter().Reset()
+	}
+
+	for _, asl := range locals {
+		if err := asl.Upload(); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctl.Compute(); err != nil {
+		return nil, err
+	}
+	for _, asl := range locals {
+		if err := asl.Fetch(); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &RunReport{
+		N:            n,
+		InterDomain:  ctl.Enclave.Meter().Snapshot(),
+		Attestations: attestations,
+		Stats:        ctl.State.Stats(),
+		RIBs:         ctl.State.RIBs(),
+		Installed:    make(map[int][]bgp.Route, n),
+	}
+	for _, asl := range locals {
+		rep.ASLocal = append(rep.ASLocal, asl.Enclave.Meter().Snapshot())
+		rep.Installed[asl.ASN] = asl.State.Installed()
+	}
+	if extra != nil {
+		if err := extra(ctl, locals); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// RunNative deploys the baseline on the same workload.
+func RunNative(t *topo.Topology) (*RunReport, error) {
+	n := t.N()
+	net := netsim.New()
+	ctlHost, err := net.AddHost("controller", core.PlatformConfig{EPCFrames: 64})
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := LaunchNativeController(ctlHost, n)
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+
+	policies := PoliciesFromTopology(t)
+	locals := make([]*NativeASLocal, n)
+	for a := 0; a < n; a++ {
+		host, err := net.AddHost(fmt.Sprintf("as%d", a), core.PlatformConfig{EPCFrames: 64})
+		if err != nil {
+			return nil, err
+		}
+		locals[a] = NewNativeASLocal(host, policies[a])
+		defer locals[a].Close()
+	}
+	for _, asl := range locals {
+		if err := asl.Connect("controller"); err != nil {
+			return nil, err
+		}
+	}
+
+	ctlHost.Platform().HostMeter.Reset()
+	for _, asl := range locals {
+		asl.Host.Platform().HostMeter.Reset()
+	}
+
+	for _, asl := range locals {
+		if err := asl.Upload(); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctl.Compute(); err != nil {
+		return nil, err
+	}
+	for _, asl := range locals {
+		if err := asl.Fetch(); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &RunReport{
+		N:           n,
+		InterDomain: ctlHost.Platform().HostMeter.Snapshot(),
+		Stats:       ctl.State.Stats(),
+		RIBs:        ctl.State.RIBs(),
+		Installed:   make(map[int][]bgp.Route, n),
+	}
+	for _, asl := range locals {
+		rep.ASLocal = append(rep.ASLocal, asl.Host.Platform().HostMeter.Snapshot())
+		rep.Installed[asl.ASN] = asl.Installed()
+	}
+	return rep, nil
+}

@@ -1,0 +1,24 @@
+package sgxcrypto
+
+import (
+	"crypto/ed25519"
+
+	"sgxnet/internal/core"
+)
+
+// Metered signature operations. The paper's quoting enclave signs QUOTEs
+// with the processor's attestation key (EPID in real SGX; an Ed25519
+// platform key here — footnote 2 of the paper itself describes the scheme
+// as "a signature ... verified using the remote platform's public key").
+
+// Sign produces a metered signature.
+func Sign(m *core.Meter, priv ed25519.PrivateKey, msg []byte) []byte {
+	m.ChargeNormal(core.CostSigSign + uint64(len(msg))*core.CostSHA256PerByte)
+	return ed25519.Sign(priv, msg)
+}
+
+// Verify checks a metered signature.
+func Verify(m *core.Meter, pub ed25519.PublicKey, msg, sig []byte) bool {
+	m.ChargeNormal(core.CostSigVerify + uint64(len(msg))*core.CostSHA256PerByte)
+	return ed25519.Verify(pub, msg, sig)
+}

@@ -1,0 +1,151 @@
+package smpc
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/sgxcrypto"
+)
+
+// 1-out-of-4 oblivious transfer in the Bellare–Micali / Naor–Pinkas
+// style over the metered 1024-bit DH group. The receiver learns exactly
+// one of the sender's four one-byte messages; the sender learns nothing
+// about the choice. Every modular exponentiation charges its calibrated
+// instruction cost, which is precisely why GMW's per-AND-gate OT makes
+// the SMPC baseline so expensive.
+
+// otTranscript is the message flow of one OT, run in-memory between the
+// two party engines (the netsim conn carries its serialized form).
+type otMsg1 struct {
+	// C is the sender's "no known discrete log" group element.
+	C []byte
+}
+
+type otMsg2 struct {
+	// PK0 is the receiver's first public key; PK_i for i>0 are derived
+	// as C^i/PK0 ... we use the standard trick with PK_c = g^k.
+	PKs [4][]byte
+}
+
+type otMsg3 struct {
+	// R is g^r; E[i] are the encrypted messages.
+	R []byte
+	E [4][]byte
+}
+
+var errOT = errors.New("smpc: oblivious transfer failure")
+
+// otSender holds the sender's state across the exchange.
+type otSender struct {
+	params *sgxcrypto.DHParams
+	c      *big.Int
+}
+
+// newOTSender creates message 1: a random group element C whose discrete
+// log the receiver cannot know.
+func newOTSender(m *core.Meter, params *sgxcrypto.DHParams) (*otSender, otMsg1, error) {
+	k, err := sgxcrypto.GenerateKey(m, params, nil)
+	if err != nil {
+		return nil, otMsg1{}, err
+	}
+	return &otSender{params: params, c: k.Public}, otMsg1{C: k.Public.Bytes()}, nil
+}
+
+// otReceive answers message 1 with the four public keys, of which only
+// PKs[choice] has a known secret.
+type otReceiver struct {
+	params *sgxcrypto.DHParams
+	choice int
+	key    *sgxcrypto.DHKey
+}
+
+func newOTReceiver(m *core.Meter, params *sgxcrypto.DHParams, choice int, msg1 otMsg1) (*otReceiver, otMsg2, error) {
+	if choice < 0 || choice > 3 {
+		return nil, otMsg2{}, fmt.Errorf("%w: choice %d", errOT, choice)
+	}
+	c := new(big.Int).SetBytes(msg1.C)
+	key, err := sgxcrypto.GenerateKey(m, params, nil)
+	if err != nil {
+		return nil, otMsg2{}, err
+	}
+	var msg2 otMsg2
+	// PK_choice = g^k; PK_i (i≠choice) = C · g^{h_i} with h_i random but
+	// *derived from C and PK_choice* so the receiver cannot know their
+	// discrete logs relative to g without breaking DH. We use the classic
+	// construction PK_i = C / PK_choice rotated per index.
+	pkChoice := key.Public
+	for i := 0; i < 4; i++ {
+		if i == choice {
+			msg2.PKs[i] = pkChoice.Bytes()
+			continue
+		}
+		// PK_i = C^{i+1} · PK_choice^{-1} mod p — distinct per slot,
+		// discrete log unknown to the receiver.
+		ci := new(big.Int).Exp(c, big.NewInt(int64(i+1)), params.P)
+		m.ChargeNormal(core.CostDHKeyAgree / 2)
+		inv := new(big.Int).ModInverse(pkChoice, params.P)
+		if inv == nil {
+			return nil, otMsg2{}, errOT
+		}
+		pki := new(big.Int).Mod(new(big.Int).Mul(ci, inv), params.P)
+		msg2.PKs[i] = pki.Bytes()
+	}
+	return &otReceiver{params: params, choice: choice, key: key}, msg2, nil
+}
+
+// otSend produces message 3: each of the four messages encrypted under
+// the corresponding public key.
+func (s *otSender) send(m *core.Meter, msg2 otMsg2, msgs [4]byte) (otMsg3, error) {
+	r, err := sgxcrypto.GenerateKey(m, s.params, nil)
+	if err != nil {
+		return otMsg3{}, err
+	}
+	var out otMsg3
+	out.R = r.Public.Bytes()
+	for i := 0; i < 4; i++ {
+		pk := new(big.Int).SetBytes(msg2.PKs[i])
+		if pk.Sign() <= 0 || pk.Cmp(s.params.P) >= 0 {
+			return otMsg3{}, errOT
+		}
+		shared, err := r.Shared(m, pk)
+		if err != nil {
+			return otMsg3{}, err
+		}
+		pad := otPad(shared, i)
+		out.E[i] = []byte{msgs[i] ^ pad}
+	}
+	return out, nil
+}
+
+// otFinish decrypts the chosen message.
+func (rcv *otReceiver) finish(m *core.Meter, msg3 otMsg3) (byte, error) {
+	shared, err := rcv.key.Shared(m, new(big.Int).SetBytes(msg3.R))
+	if err != nil {
+		return 0, err
+	}
+	if len(msg3.E[rcv.choice]) != 1 {
+		return 0, errOT
+	}
+	return msg3.E[rcv.choice][0] ^ otPad(shared, rcv.choice), nil
+}
+
+func otPad(shared [32]byte, slot int) byte {
+	sum := sha256.Sum256(append(shared[:], byte(slot)))
+	return sum[0]
+}
+
+// randBit draws a uniform bit.
+func randBit() (bool, error) {
+	var b [1]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return false, err
+	}
+	return b[0]&1 == 1, nil
+}
+
+// bigFromBytes is a test helper-friendly wrapper.
+func bigFromBytes(b []byte) *big.Int { return new(big.Int).SetBytes(b) }

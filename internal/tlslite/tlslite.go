@@ -1,0 +1,401 @@
+// Package tlslite is a from-scratch, simplified TLS: an ephemeral
+// Diffie-Hellman handshake with transcript authentication and an
+// AES-CTR + HMAC-SHA256 record layer with per-direction keys and
+// sequence numbers.
+//
+// It exists for the paper's §3.3 middlebox design: a session-keyed record
+// protocol whose keys the endpoints can hand to an attested in-path
+// middlebox over an attestation-bootstrapped secure channel. X.509 and
+// cipher negotiation are irrelevant to that code path and are omitted;
+// endpoint authentication, when needed, rides on SGX attestation instead
+// of certificates (the paper's point).
+package tlslite
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/netsim"
+	"sgxnet/internal/sgxcrypto"
+)
+
+// Direction tags a record's flow.
+type Direction uint8
+
+const (
+	// ClientToServer records are sent by the client.
+	ClientToServer Direction = iota
+	// ServerToClient records are sent by the server.
+	ServerToClient
+)
+
+// Keys is the session's exportable key material — what an endpoint hands
+// to an attested middlebox ("endpoints ... give their session keys
+// through the secure channel to in-path middleboxes", §3.3).
+type Keys struct {
+	EncC2S [16]byte // AES key, client→server
+	EncS2C [16]byte
+	MacC2S [32]byte // HMAC key, client→server
+	MacS2C [32]byte
+}
+
+// Marshal serializes the key block.
+func (k *Keys) Marshal() []byte {
+	out := make([]byte, 0, 96)
+	out = append(out, k.EncC2S[:]...)
+	out = append(out, k.EncS2C[:]...)
+	out = append(out, k.MacC2S[:]...)
+	out = append(out, k.MacS2C[:]...)
+	return out
+}
+
+// UnmarshalKeys parses a key block.
+func UnmarshalKeys(b []byte) (Keys, bool) {
+	if len(b) != 96 {
+		return Keys{}, false
+	}
+	var k Keys
+	copy(k.EncC2S[:], b[:16])
+	copy(k.EncS2C[:], b[16:32])
+	copy(k.MacC2S[:], b[32:64])
+	copy(k.MacS2C[:], b[64:96])
+	return k, true
+}
+
+// deriveKeys expands the master secret into the directional key block.
+func deriveKeys(master [32]byte) Keys {
+	expand := func(label string) []byte {
+		h := hmac.New(sha256.New, master[:])
+		h.Write([]byte(label))
+		return h.Sum(nil)
+	}
+	var k Keys
+	copy(k.EncC2S[:], expand("enc c2s"))
+	copy(k.EncS2C[:], expand("enc s2c"))
+	copy(k.MacC2S[:], expand("mac c2s"))
+	copy(k.MacS2C[:], expand("mac s2c"))
+	return k
+}
+
+// Codec seals and opens records given the key block — usable by the
+// endpoints and by a key-provisioned middlebox alike.
+type Codec struct {
+	keys Keys
+}
+
+// NewCodec builds a record codec over a key block.
+func NewCodec(keys Keys) *Codec { return &Codec{keys: keys} }
+
+// ErrRecord reports a failed record authentication or framing error.
+var ErrRecord = errors.New("tlslite: record authentication failed")
+
+// recordHeader is dir(1) ‖ seq(8) ‖ len(4).
+const recordHeader = 13
+
+// Seal builds the wire form of a record: header ‖ ciphertext ‖ tag. The
+// sequence number is bound into the IV and the MAC, preventing replay
+// and reordering.
+func (c *Codec) Seal(m *core.Meter, dir Direction, seq uint64, payload []byte) ([]byte, error) {
+	encKey, macKey := c.dirKeys(dir)
+	cipher, err := sgxcrypto.NewAES(m, encKey)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, recordHeader+len(payload), recordHeader+len(payload)+32)
+	out[0] = byte(dir)
+	binary.BigEndian.PutUint64(out[1:9], seq)
+	binary.BigEndian.PutUint32(out[9:13], uint32(len(payload)))
+	var iv [16]byte
+	iv[0] = byte(dir)
+	binary.BigEndian.PutUint64(iv[8:], seq)
+	cipher.XORKeyStreamCTR(m, iv, out[recordHeader:], payload)
+	tag := sgxcrypto.MAC(m, macKey, out)
+	return append(out, tag[:]...), nil
+}
+
+// Open verifies and decrypts a record, returning the payload. The caller
+// supplies the expected sequence number; a mismatch (replayed or dropped
+// record) fails authentication.
+func (c *Codec) Open(m *core.Meter, dir Direction, seq uint64, raw []byte) ([]byte, error) {
+	if len(raw) < recordHeader+32 {
+		return nil, ErrRecord
+	}
+	body, tag := raw[:len(raw)-32], raw[len(raw)-32:]
+	if Direction(body[0]) != dir || binary.BigEndian.Uint64(body[1:9]) != seq {
+		return nil, ErrRecord
+	}
+	encKey, macKey := c.dirKeys(dir)
+	want := sgxcrypto.MAC(m, macKey, body)
+	if !hmac.Equal(want[:], tag) {
+		return nil, ErrRecord
+	}
+	n := binary.BigEndian.Uint32(body[9:13])
+	if int(n) != len(body)-recordHeader {
+		return nil, ErrRecord
+	}
+	cipher, err := sgxcrypto.NewAES(m, encKey)
+	if err != nil {
+		return nil, err
+	}
+	var iv [16]byte
+	iv[0] = byte(dir)
+	binary.BigEndian.PutUint64(iv[8:], seq)
+	out := make([]byte, n)
+	cipher.XORKeyStreamCTR(m, iv, out, body[recordHeader:])
+	return out, nil
+}
+
+// OpenAny verifies and decrypts a record using the direction and
+// sequence number carried in its (MAC-protected) header — the passive
+// observer's entry point: a key-provisioned middlebox sees records
+// mid-stream and cannot maintain the endpoints' counters, but the MAC
+// binds the header, so a forged or replayed header still fails.
+func (c *Codec) OpenAny(m *core.Meter, raw []byte) (Direction, uint64, []byte, error) {
+	if len(raw) < recordHeader+32 {
+		return 0, 0, nil, ErrRecord
+	}
+	dir := Direction(raw[0])
+	if dir != ClientToServer && dir != ServerToClient {
+		return 0, 0, nil, ErrRecord
+	}
+	seq := binary.BigEndian.Uint64(raw[1:9])
+	out, err := c.Open(m, dir, seq, raw)
+	return dir, seq, out, err
+}
+
+func (c *Codec) dirKeys(dir Direction) (enc, mac []byte) {
+	if dir == ClientToServer {
+		return c.keys.EncC2S[:], c.keys.MacC2S[:]
+	}
+	return c.keys.EncS2C[:], c.keys.MacS2C[:]
+}
+
+// Session is one endpoint's view of an established connection.
+type Session struct {
+	isClient bool
+	codec    *Codec
+	conn     *netsim.Conn
+	meter    *core.Meter
+	sendSeq  uint64
+	recvSeq  uint64
+}
+
+// handshake wire messages (gob-free: fixed framing keeps the transcript
+// hash simple).
+
+func writeMsg(conn *netsim.Conn, transcript *bytes.Buffer, fields ...[]byte) error {
+	var buf bytes.Buffer
+	for _, f := range fields {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(f)))
+		buf.Write(l[:])
+		buf.Write(f)
+	}
+	transcript.Write(buf.Bytes())
+	return conn.Send(buf.Bytes())
+}
+
+func readMsg(conn *netsim.Conn, transcript *bytes.Buffer, n int) ([][]byte, error) {
+	raw, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	transcript.Write(raw)
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(raw) < 4 {
+			return nil, fmt.Errorf("tlslite: truncated handshake message")
+		}
+		l := binary.BigEndian.Uint32(raw[:4])
+		raw = raw[4:]
+		if uint32(len(raw)) < l {
+			return nil, fmt.Errorf("tlslite: truncated handshake field")
+		}
+		out = append(out, raw[:l])
+		raw = raw[l:]
+	}
+	return out, nil
+}
+
+// ClientHandshake runs the client side of the handshake over conn. On
+// failure the connection is closed (a half-completed handshake poisons
+// it and would leave the peer blocked).
+func ClientHandshake(m *core.Meter, conn *netsim.Conn) (*Session, error) {
+	s, err := clientHandshake(m, conn)
+	if err != nil {
+		conn.Close()
+	}
+	return s, err
+}
+
+func clientHandshake(m *core.Meter, conn *netsim.Conn) (*Session, error) {
+	var transcript bytes.Buffer
+	var clientRandom [32]byte
+	if _, err := rand.Read(clientRandom[:]); err != nil {
+		return nil, err
+	}
+	if err := writeMsg(conn, &transcript, clientRandom[:]); err != nil {
+		return nil, err
+	}
+	// ServerHello: serverRandom, DH prime, generator, server public.
+	fields, err := readMsg(conn, &transcript, 4)
+	if err != nil {
+		return nil, err
+	}
+	params := &sgxcrypto.DHParams{P: new(big.Int).SetBytes(fields[1]), G: new(big.Int).SetBytes(fields[2])}
+	if params.Bits() < 1024 {
+		return nil, fmt.Errorf("tlslite: weak DH parameters (%d bits)", params.Bits())
+	}
+	key, err := sgxcrypto.GenerateKey(m, params, nil)
+	if err != nil {
+		return nil, err
+	}
+	secret, err := key.Shared(m, new(big.Int).SetBytes(fields[3]))
+	if err != nil {
+		return nil, err
+	}
+	if err := writeMsg(conn, &transcript, key.Public.Bytes()); err != nil {
+		return nil, err
+	}
+	master := masterSecret(secret, clientRandom[:], fields[0])
+	// Finished exchange authenticates the transcript both ways.
+	if err := finished(m, conn, &transcript, master, true); err != nil {
+		return nil, err
+	}
+	return &Session{isClient: true, codec: NewCodec(deriveKeys(master)), conn: conn, meter: m}, nil
+}
+
+// ServerHandshake runs the server side. On failure the connection is
+// closed.
+func ServerHandshake(m *core.Meter, conn *netsim.Conn) (*Session, error) {
+	s, err := serverHandshake(m, conn)
+	if err != nil {
+		conn.Close()
+	}
+	return s, err
+}
+
+func serverHandshake(m *core.Meter, conn *netsim.Conn) (*Session, error) {
+	var transcript bytes.Buffer
+	fields, err := readMsg(conn, &transcript, 1)
+	if err != nil {
+		return nil, err
+	}
+	clientRandom := fields[0]
+	var serverRandom [32]byte
+	if _, err := rand.Read(serverRandom[:]); err != nil {
+		return nil, err
+	}
+	params := sgxcrypto.StandardGroup()
+	key, err := sgxcrypto.GenerateKey(m, params, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeMsg(conn, &transcript, serverRandom[:], params.P.Bytes(), params.G.Bytes(), key.Public.Bytes()); err != nil {
+		return nil, err
+	}
+	fields, err = readMsg(conn, &transcript, 1)
+	if err != nil {
+		return nil, err
+	}
+	secret, err := key.Shared(m, new(big.Int).SetBytes(fields[0]))
+	if err != nil {
+		return nil, err
+	}
+	master := masterSecret(secret, clientRandom, serverRandom[:])
+	if err := finished(m, conn, &transcript, master, false); err != nil {
+		return nil, err
+	}
+	return &Session{isClient: false, codec: NewCodec(deriveKeys(master)), conn: conn, meter: m}, nil
+}
+
+func masterSecret(shared [32]byte, clientRandom, serverRandom []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("tlslite master"))
+	h.Write(shared[:])
+	h.Write(clientRandom)
+	h.Write(serverRandom)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// finished exchanges transcript MACs: each side proves it saw the same
+// handshake, detecting tampering with the unencrypted hello messages.
+func finished(m *core.Meter, conn *netsim.Conn, transcript *bytes.Buffer, master [32]byte, client bool) error {
+	snapshot := append([]byte(nil), transcript.Bytes()...)
+	mine := sgxcrypto.MAC(m, master[:], append([]byte(label(client)), snapshot...))
+	theirsLabel := label(!client)
+	want := sgxcrypto.MAC(m, master[:], append([]byte(theirsLabel), snapshot...))
+	if client {
+		if err := conn.Send(mine[:]); err != nil {
+			return err
+		}
+		got, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		if !hmac.Equal(got, want[:]) {
+			return fmt.Errorf("tlslite: server Finished mismatch")
+		}
+		return nil
+	}
+	got, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	if !hmac.Equal(got, want[:]) {
+		return fmt.Errorf("tlslite: client Finished mismatch")
+	}
+	return conn.Send(mine[:])
+}
+
+func label(client bool) string {
+	if client {
+		return "client finished"
+	}
+	return "server finished"
+}
+
+// ExportKeys returns the session's key block for provisioning an
+// attested middlebox.
+func (s *Session) ExportKeys() Keys { return s.codec.keys }
+
+// Send transmits one application record.
+func (s *Session) Send(payload []byte) error {
+	dir := ServerToClient
+	if s.isClient {
+		dir = ClientToServer
+	}
+	rec, err := s.codec.Seal(s.meter, dir, s.sendSeq, payload)
+	if err != nil {
+		return err
+	}
+	s.sendSeq++
+	return s.conn.Send(rec)
+}
+
+// Recv receives and opens one application record.
+func (s *Session) Recv() ([]byte, error) {
+	dir := ClientToServer
+	if s.isClient {
+		dir = ServerToClient
+	}
+	raw, err := s.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.codec.Open(s.meter, dir, s.recvSeq, raw)
+	if err != nil {
+		return nil, err
+	}
+	s.recvSeq++
+	return out, nil
+}

@@ -1,0 +1,262 @@
+package tlslite
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/netsim"
+)
+
+func connect(t *testing.T) (*netsim.Conn, *netsim.Conn) {
+	t.Helper()
+	n := netsim.New()
+	a, err := n.AddHost("a", core.PlatformConfig{EPCFrames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddHost("b", core.PlatformConfig{EPCFrames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := b.Listen("tls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := make(chan *netsim.Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		acc <- c
+	}()
+	cli, err := a.Dial("b", "tls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cli, <-acc
+}
+
+func handshakePair(t *testing.T) (*Session, *Session) {
+	t.Helper()
+	cli, srv := connect(t)
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := ServerHandshake(core.NewMeter(), srv)
+		ch <- res{s, err}
+	}()
+	cs, err := ClientHandshake(core.NewMeter(), cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return cs, r.s
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	cs, ss := handshakePair(t)
+	if err := cs.Send([]byte("GET /secret")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ss.Recv()
+	if err != nil || string(got) != "GET /secret" {
+		t.Fatalf("%q %v", got, err)
+	}
+	if err := ss.Send([]byte("200 OK")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = cs.Recv()
+	if err != nil || string(got) != "200 OK" {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestSessionsDeriveSameKeys(t *testing.T) {
+	cs, ss := handshakePair(t)
+	if cs.ExportKeys() != ss.ExportKeys() {
+		t.Fatal("endpoints derived different key blocks")
+	}
+}
+
+func TestRecordOnWireIsOpaque(t *testing.T) {
+	cli, srv := connect(t)
+	done := make(chan *Session, 1)
+	go func() {
+		s, _ := ServerHandshake(core.NewMeter(), srv)
+		done <- s
+	}()
+	cs, err := ClientHandshake(core.NewMeter(), cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := <-done
+	secret := []byte("visa 4111-1111-1111-1111")
+	if err := cs.Send(secret); err != nil {
+		t.Fatal(err)
+	}
+	// The server reads the raw record off the wire before opening it.
+	got, err := ss.Recv()
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Fatalf("%q %v", got, err)
+	}
+	// Direct wire inspection: seal a record and check the plaintext is
+	// not visible.
+	m := core.NewMeter()
+	rec, err := cs.codec.Seal(m, ClientToServer, 99, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(rec, secret) {
+		t.Fatal("record leaks plaintext")
+	}
+}
+
+func TestCodecSealOpenRoundTrip(t *testing.T) {
+	var master [32]byte
+	master[0] = 7
+	codec := NewCodec(deriveKeys(master))
+	m := core.NewMeter()
+	for seq := uint64(0); seq < 4; seq++ {
+		rec, err := codec.Seal(m, ServerToClient, seq, []byte("payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := codec.Open(m, ServerToClient, seq, rec)
+		if err != nil || string(got) != "payload" {
+			t.Fatalf("seq %d: %q %v", seq, got, err)
+		}
+	}
+}
+
+func TestCodecRejectsReplayAndTamper(t *testing.T) {
+	var master [32]byte
+	codec := NewCodec(deriveKeys(master))
+	m := core.NewMeter()
+	rec, _ := codec.Seal(m, ClientToServer, 5, []byte("x"))
+	// Wrong sequence (replay).
+	if _, err := codec.Open(m, ClientToServer, 6, rec); err != ErrRecord {
+		t.Fatalf("replayed record accepted: %v", err)
+	}
+	// Wrong direction (reflection).
+	if _, err := codec.Open(m, ServerToClient, 5, rec); err != ErrRecord {
+		t.Fatalf("reflected record accepted: %v", err)
+	}
+	// Bit flip.
+	for i := 0; i < len(rec); i += 11 {
+		cp := append([]byte{}, rec...)
+		cp[i] ^= 1
+		if _, err := codec.Open(m, ClientToServer, 5, cp); err == nil {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+	// Truncation.
+	if _, err := codec.Open(m, ClientToServer, 5, rec[:10]); err != ErrRecord {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestCodecDirectionalKeysDiffer(t *testing.T) {
+	var master [32]byte
+	k := deriveKeys(master)
+	if k.EncC2S == k.EncS2C || k.MacC2S == k.MacS2C {
+		t.Fatal("directional keys identical")
+	}
+}
+
+func TestKeysMarshalRoundTrip(t *testing.T) {
+	f := func(a, b [16]byte, c, d [32]byte) bool {
+		k := Keys{EncC2S: a, EncS2C: b, MacC2S: c, MacS2C: d}
+		got, ok := UnmarshalKeys(k.Marshal())
+		return ok && got == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := UnmarshalKeys([]byte("short")); ok {
+		t.Fatal("short key block parsed")
+	}
+}
+
+func TestRecordPropertyRoundTrip(t *testing.T) {
+	var master [32]byte
+	master[3] = 9
+	codec := NewCodec(deriveKeys(master))
+	m := core.NewMeter()
+	seq := uint64(0)
+	f := func(payload []byte) bool {
+		rec, err := codec.Seal(m, ClientToServer, seq, payload)
+		if err != nil {
+			return false
+		}
+		got, err := codec.Open(m, ClientToServer, seq, rec)
+		seq++
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMiddleboxStyleDecryption: a third party holding the exported key
+// block can open records in both directions — the §3.3 capability.
+func TestMiddleboxStyleDecryption(t *testing.T) {
+	cs, ss := handshakePair(t)
+	mbox := NewCodec(cs.ExportKeys())
+	m := core.NewMeter()
+	rec, err := cs.codec.Seal(m, ClientToServer, 0, []byte("inspect me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mbox.Open(m, ClientToServer, 0, rec)
+	if err != nil || string(got) != "inspect me" {
+		t.Fatalf("middlebox decrypt: %q %v", got, err)
+	}
+	rec, err = ss.codec.Seal(m, ServerToClient, 0, []byte("response"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := mbox.Open(m, ServerToClient, 0, rec); err != nil || string(got) != "response" {
+		t.Fatalf("middlebox decrypt s2c: %q %v", got, err)
+	}
+	// Without the keys, nothing opens.
+	other := NewCodec(deriveKeys([32]byte{1}))
+	if _, err := other.Open(m, ServerToClient, 0, rec); err == nil {
+		t.Fatal("wrong-key middlebox opened a record")
+	}
+}
+
+// TestOnPathCorruptionDetected: an on-path attacker flipping record bits
+// is caught by the record MAC.
+func TestOnPathCorruptionDetected(t *testing.T) {
+	cs, ss := handshakePair(t)
+	cs.conn.InjectCorrupt(1)
+	if err := cs.Send([]byte("payment details")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Recv(); err == nil {
+		t.Fatal("corrupted record accepted")
+	}
+}
+
+// TestHandshakeCorruptionDetected: tampering with the handshake itself
+// fails the Finished exchange.
+func TestHandshakeCorruptionDetected(t *testing.T) {
+	cli, srv := connect(t)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ServerHandshake(core.NewMeter(), srv)
+		done <- err
+	}()
+	cli.InjectCorrupt(1) // corrupt the ClientHello
+	_, cerr := ClientHandshake(core.NewMeter(), cli)
+	serr := <-done
+	if cerr == nil && serr == nil {
+		t.Fatal("tampered handshake completed on both sides")
+	}
+}

@@ -1,0 +1,264 @@
+// Package topo generates and validates AS-level network topologies with
+// Gao–Rexford business relationships (customer/provider/peer) and per-AS
+// local preferences — the "random topology with hypothetical business
+// relationships" of the paper's §5 inter-domain routing evaluation.
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Relationship is the business relationship an AS has with a neighbor,
+// from the AS's own perspective.
+type Relationship int8
+
+const (
+	// RelCustomer: the neighbor is my customer (it pays me).
+	RelCustomer Relationship = iota
+	// RelPeer: settlement-free peering.
+	RelPeer
+	// RelProvider: the neighbor is my provider (I pay it).
+	RelProvider
+)
+
+func (r Relationship) String() string {
+	switch r {
+	case RelCustomer:
+		return "customer"
+	case RelPeer:
+		return "peer"
+	case RelProvider:
+		return "provider"
+	default:
+		return fmt.Sprintf("Relationship(%d)", int8(r))
+	}
+}
+
+// Invert returns the relationship from the other side's perspective.
+func (r Relationship) Invert() Relationship {
+	switch r {
+	case RelCustomer:
+		return RelProvider
+	case RelProvider:
+		return RelCustomer
+	default:
+		return RelPeer
+	}
+}
+
+// Topology is an AS graph with relationships and local preferences.
+type Topology struct {
+	n         int
+	rel       map[[2]int]Relationship
+	neighbors map[int][]int
+	prefs     map[int]map[int]int
+}
+
+// NewTopology creates an empty topology over ASes 0..n-1.
+func NewTopology(n int) *Topology {
+	return &Topology{
+		n:         n,
+		rel:       make(map[[2]int]Relationship),
+		neighbors: make(map[int][]int),
+		prefs:     make(map[int]map[int]int),
+	}
+}
+
+// N returns the number of ASes.
+func (t *Topology) N() int { return t.n }
+
+// AddLink connects a and b with a's-perspective relationship rel,
+// recording the inverse on b's side.
+func (t *Topology) AddLink(a, b int, rel Relationship) error {
+	if a == b {
+		return fmt.Errorf("topo: self link at AS%d", a)
+	}
+	if a < 0 || a >= t.n || b < 0 || b >= t.n {
+		return fmt.Errorf("topo: link %d–%d out of range", a, b)
+	}
+	if _, dup := t.rel[[2]int{a, b}]; dup {
+		return fmt.Errorf("topo: duplicate link %d–%d", a, b)
+	}
+	t.rel[[2]int{a, b}] = rel
+	t.rel[[2]int{b, a}] = rel.Invert()
+	t.neighbors[a] = append(t.neighbors[a], b)
+	t.neighbors[b] = append(t.neighbors[b], a)
+	return nil
+}
+
+// Rel returns a's relationship toward neighbor b.
+func (t *Topology) Rel(a, b int) (Relationship, bool) {
+	r, ok := t.rel[[2]int{a, b}]
+	return r, ok
+}
+
+// Neighbors returns a's neighbors in ascending order.
+func (t *Topology) Neighbors(a int) []int {
+	out := append([]int(nil), t.neighbors[a]...)
+	sort.Ints(out)
+	return out
+}
+
+// Links returns the number of undirected links.
+func (t *Topology) Links() int { return len(t.rel) / 2 }
+
+// SetLocalPref sets the preference AS a assigns to routes learned from
+// neighbor nbr (higher wins).
+func (t *Topology) SetLocalPref(a, nbr, pref int) {
+	if t.prefs[a] == nil {
+		t.prefs[a] = make(map[int]int)
+	}
+	t.prefs[a][nbr] = pref
+}
+
+// LocalPref returns the preference AS a assigns to neighbor nbr. The
+// default follows the standard economic ordering: customer routes over
+// peer routes over provider routes.
+func (t *Topology) LocalPref(a, nbr int) int {
+	if p, ok := t.prefs[a][nbr]; ok {
+		return p
+	}
+	switch r, _ := t.Rel(a, nbr); r {
+	case RelCustomer:
+		return 300
+	case RelPeer:
+		return 200
+	default:
+		return 100
+	}
+}
+
+// Validate checks structural invariants: symmetric inverse relationships
+// and a connected graph.
+func (t *Topology) Validate() error {
+	for k, r := range t.rel {
+		inv, ok := t.rel[[2]int{k[1], k[0]}]
+		if !ok || inv != r.Invert() {
+			return fmt.Errorf("topo: asymmetric link %d–%d", k[0], k[1])
+		}
+	}
+	if !t.Connected() {
+		return fmt.Errorf("topo: graph not connected")
+	}
+	return nil
+}
+
+// Connected reports whether all ASes are reachable from AS 0.
+func (t *Topology) Connected() bool {
+	if t.n == 0 {
+		return true
+	}
+	seen := make([]bool, t.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, b := range t.neighbors[a] {
+			if !seen[b] {
+				seen[b] = true
+				count++
+				stack = append(stack, b)
+			}
+		}
+	}
+	return count == t.n
+}
+
+// Config parameterizes random topology generation.
+type Config struct {
+	N    int   // number of ASes
+	Seed int64 // RNG seed; identical seeds give identical topologies
+	// Tier1Frac is the fraction of ASes in the fully-meshed tier-1 clique
+	// (default 0.1, minimum 1 AS).
+	Tier1Frac float64
+	// MaxProviders bounds the number of providers per non-tier-1 AS
+	// (default 2).
+	MaxProviders int
+	// PeerProb is the probability of a lateral peering edge between two
+	// non-tier-1 ASes of similar rank (default 0.08).
+	PeerProb float64
+	// PrefJitter, when true, perturbs the default local preferences so
+	// ties are broken differently per AS.
+	PrefJitter bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tier1Frac <= 0 {
+		c.Tier1Frac = 0.1
+	}
+	if c.MaxProviders <= 0 {
+		c.MaxProviders = 2
+	}
+	if c.PeerProb <= 0 {
+		c.PeerProb = 0.08
+	}
+	return c
+}
+
+// Random generates a connected AS topology with the usual Internet-like
+// structure: a tier-1 clique of peers, provider–customer edges downward,
+// and sparse lateral peering.
+func Random(cfg Config) (*Topology, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("topo: need at least 2 ASes, got %d", cfg.N)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := NewTopology(cfg.N)
+	t1 := int(float64(cfg.N) * cfg.Tier1Frac)
+	if t1 < 1 {
+		t1 = 1
+	}
+	if t1 > cfg.N {
+		t1 = cfg.N
+	}
+	// Tier-1 clique: everyone peers with everyone.
+	for a := 0; a < t1; a++ {
+		for b := a + 1; b < t1; b++ {
+			if err := t.AddLink(a, b, RelPeer); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Every other AS buys transit from 1..MaxProviders earlier ASes.
+	for a := t1; a < cfg.N; a++ {
+		nProv := 1 + rng.Intn(cfg.MaxProviders)
+		chosen := map[int]bool{}
+		for p := 0; p < nProv; p++ {
+			prov := rng.Intn(a)
+			if chosen[prov] {
+				continue
+			}
+			chosen[prov] = true
+			// a's provider: from a's perspective the neighbor is a provider.
+			if err := t.AddLink(a, prov, RelProvider); err != nil {
+				return nil, err
+			}
+		}
+		// Sparse lateral peering with a nearby-rank AS.
+		if a > t1 && rng.Float64() < cfg.PeerProb {
+			b := t1 + rng.Intn(a-t1)
+			if _, dup := t.Rel(a, b); !dup && a != b {
+				if err := t.AddLink(a, b, RelPeer); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if cfg.PrefJitter {
+		for a := 0; a < cfg.N; a++ {
+			for _, nbr := range t.Neighbors(a) {
+				base := t.LocalPref(a, nbr)
+				t.SetLocalPref(a, nbr, base+rng.Intn(50))
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

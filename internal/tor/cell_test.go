@@ -1,0 +1,207 @@
+package tor
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/sgxcrypto"
+)
+
+func TestCellMarshalRoundTrip(t *testing.T) {
+	c := Cell{CircID: 0xdeadbeef, Cmd: CmdRelay, Payload: []byte("hello")}
+	raw, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != CellSize {
+		t.Fatalf("wire size %d", len(raw))
+	}
+	got, err := UnmarshalCell(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CircID != c.CircID || got.Cmd != c.Cmd || !bytes.Equal(got.Payload, c.Payload) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestCellOversizeRejected(t *testing.T) {
+	c := Cell{Cmd: CmdRelay, Payload: make([]byte, MaxPayload+1)}
+	if _, err := c.Marshal(); err != ErrCellTooLarge {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := UnmarshalCell(make([]byte, 10)); err != ErrBadCell {
+		t.Fatalf("short cell err=%v", err)
+	}
+	// Length field larger than payload area.
+	raw, _ := (&Cell{Cmd: CmdRelay}).Marshal()
+	raw[5], raw[6] = 0xff, 0xff
+	if _, err := UnmarshalCell(raw); err != ErrBadCell {
+		t.Fatalf("bad length err=%v", err)
+	}
+}
+
+func TestCellPropertyRoundTrip(t *testing.T) {
+	f := func(circ uint32, cmd uint8, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		c := Cell{CircID: circ, Cmd: Command(cmd), Payload: payload}
+		raw, err := c.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalCell(raw)
+		return err == nil && got.CircID == c.CircID && got.Cmd == c.Cmd && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelayCellRoundTrip(t *testing.T) {
+	rc := RelayCell{Cmd: RelayData, StreamID: 7, Data: []byte("payload")}
+	got, err := UnmarshalRelay(rc.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmd != rc.Cmd || got.StreamID != rc.StreamID || !bytes.Equal(got.Data, rc.Data) {
+		t.Fatalf("%+v", got)
+	}
+	if _, err := UnmarshalRelay([]byte{1}); err != ErrBadCell {
+		t.Fatal("short relay accepted")
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	for _, c := range []Command{CmdCreate, CmdCreated, CmdRelay, CmdDestroy, Command(99)} {
+		if c.String() == "" {
+			t.Fatal("empty command string")
+		}
+	}
+}
+
+func makeHops(t *testing.T, n int) []*sgxcrypto.Channel {
+	t.Helper()
+	m := core.NewMeter()
+	hops := make([]*sgxcrypto.Channel, n)
+	for i := range hops {
+		var secret [32]byte
+		secret[0] = byte(i + 1)
+		ch, err := sgxcrypto.NewChannel(m, secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hops[i] = ch
+	}
+	return hops
+}
+
+func TestOnionForwardPeelsInOrder(t *testing.T) {
+	m := core.NewMeter()
+	hops := makeHops(t, 3)
+	msg := []byte("relay payload")
+	wrapped, err := WrapForward(m, hops, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop 1 peels: forward marker.
+	rest, deliver, err := peelForward(m, hops[0], wrapped)
+	if err != nil || deliver {
+		t.Fatalf("hop1: deliver=%v err=%v", deliver, err)
+	}
+	// Hop 2 peels: forward marker.
+	rest, deliver, err = peelForward(m, hops[1], rest)
+	if err != nil || deliver {
+		t.Fatalf("hop2: deliver=%v err=%v", deliver, err)
+	}
+	// Hop 3 peels: deliver.
+	rest, deliver, err = peelForward(m, hops[2], rest)
+	if err != nil || !deliver {
+		t.Fatalf("hop3: deliver=%v err=%v", deliver, err)
+	}
+	if !bytes.Equal(rest, msg) {
+		t.Fatalf("payload %q", rest)
+	}
+}
+
+func TestOnionWrongHopCannotPeel(t *testing.T) {
+	m := core.NewMeter()
+	hops := makeHops(t, 3)
+	wrapped, _ := WrapForward(m, hops, []byte("x"))
+	if _, _, err := peelForward(m, hops[1], wrapped); err == nil {
+		t.Fatal("middle hop peeled the entry layer")
+	}
+}
+
+func TestOnionBackwardRoundTrip(t *testing.T) {
+	m := core.NewMeter()
+	hops := makeHops(t, 3)
+	msg := []byte("response")
+	// Exit seals, middle seals, entry seals.
+	payload := msg
+	for i := len(hops) - 1; i >= 0; i-- {
+		sealed, err := addBackward(m, hops[i], payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload = sealed
+	}
+	got, err := UnwrapBackward(m, hops, 3, payload)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("%q %v", got, err)
+	}
+	if _, err := UnwrapBackward(m, hops, 4, payload); err == nil {
+		t.Fatal("depth beyond circuit accepted")
+	}
+}
+
+func TestOnionTamperDetected(t *testing.T) {
+	m := core.NewMeter()
+	hops := makeHops(t, 2)
+	wrapped, _ := WrapForward(m, hops, []byte("x"))
+	wrapped[len(wrapped)/2] ^= 1
+	if _, _, err := peelForward(m, hops[0], wrapped); err == nil {
+		t.Fatal("tampered onion accepted")
+	}
+}
+
+func TestOnionPropertyRoundTrip(t *testing.T) {
+	m := core.NewMeter()
+	hops := makeHops(t, 3)
+	f := func(msg []byte) bool {
+		if len(msg) > 300 {
+			msg = msg[:300]
+		}
+		wrapped, err := WrapForward(m, hops, msg)
+		if err != nil {
+			return false
+		}
+		cur := wrapped
+		for i := 0; i < 3; i++ {
+			rest, deliver, err := peelForward(m, hops[i], cur)
+			if err != nil {
+				return false
+			}
+			if i < 2 && deliver {
+				return false
+			}
+			if i == 2 {
+				return deliver && bytes.Equal(rest, msg)
+			}
+			cur = rest
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrapForwardEmptyHops(t *testing.T) {
+	if _, err := WrapForward(core.NewMeter(), nil, []byte("x")); err == nil {
+		t.Fatal("empty hop list accepted")
+	}
+}

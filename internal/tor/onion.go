@@ -1,0 +1,87 @@
+package tor
+
+import (
+	"errors"
+	"fmt"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/sgxcrypto"
+)
+
+// Onion-layer cryptography. Each circuit hop shares an authenticated
+// channel key with the client (established by the per-hop Diffie-Hellman
+// of CREATE/EXTEND). Forward payloads are wrapped innermost-first with a
+// direction marker per layer — markerDeliver addresses the final hop,
+// markerForward tells an intermediate hop to pass the remainder along.
+// Backward payloads gain one layer per hop; the client strips them in
+// entry-to-exit order.
+
+const (
+	markerForward byte = 0xF0
+	markerDeliver byte = 0xF1
+)
+
+// ErrOnion reports a failed layer operation (tampering, wrong key, or a
+// malformed marker).
+var ErrOnion = errors.New("tor: onion layer failure")
+
+// WrapForward builds the forward onion for a relay payload addressed to
+// the last hop of hops (client-side).
+func WrapForward(m *core.Meter, hops []*sgxcrypto.Channel, relay []byte) ([]byte, error) {
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("%w: no hops", ErrOnion)
+	}
+	payload := append([]byte{markerDeliver}, relay...)
+	for i := len(hops) - 1; i >= 0; i-- {
+		if i < len(hops)-1 {
+			payload = append([]byte{markerForward}, payload...)
+		}
+		sealed, err := hops[i].Seal(m, payload)
+		if err != nil {
+			return nil, err
+		}
+		payload = sealed
+	}
+	return payload, nil
+}
+
+// UnwrapBackward strips depth backward layers in hop order (client-side).
+func UnwrapBackward(m *core.Meter, hops []*sgxcrypto.Channel, depth int, payload []byte) ([]byte, error) {
+	if depth > len(hops) {
+		return nil, fmt.Errorf("%w: depth %d exceeds circuit length", ErrOnion, depth)
+	}
+	for i := 0; i < depth; i++ {
+		pt, err := hops[i].Open(m, payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: layer %d: %v", ErrOnion, i, err)
+		}
+		payload = pt
+	}
+	return payload, nil
+}
+
+// peelForward strips one forward layer at an OR and classifies it.
+// deliver=true means this hop is addressed; otherwise rest must be
+// forwarded to the next hop.
+func peelForward(m *core.Meter, key *sgxcrypto.Channel, payload []byte) (rest []byte, deliver bool, err error) {
+	pt, err := key.Open(m, payload)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrOnion, err)
+	}
+	if len(pt) == 0 {
+		return nil, false, ErrOnion
+	}
+	switch pt[0] {
+	case markerDeliver:
+		return pt[1:], true, nil
+	case markerForward:
+		return pt[1:], false, nil
+	default:
+		return nil, false, ErrOnion
+	}
+}
+
+// addBackward adds one backward layer at an OR.
+func addBackward(m *core.Meter, key *sgxcrypto.Channel, payload []byte) ([]byte, error) {
+	return key.Seal(m, payload)
+}

@@ -1,0 +1,224 @@
+package tor
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestExitPolicyAllows(t *testing.T) {
+	open := ExitPolicy{}
+	if !open.Allows("http") || !open.Allows("anything") {
+		t.Fatal("empty policy must allow everything")
+	}
+	restricted := ExitPolicy{AllowedServices: []string{"http", "dns"}}
+	if !restricted.Allows("http") || restricted.Allows("smtp") {
+		t.Fatal("restricted policy broken")
+	}
+}
+
+func TestExitPolicyEnforcedAtExit(t *testing.T) {
+	tn := deploy(t, ModeBaseline)
+	// An exit that only serves "dns".
+	restricted, err := tn.AddOR(ORConfig{
+		Name: "dns-exit", Exit: true,
+		ExitPolicy: ExitPolicy{AllowedServices: []string{"dns"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tn.NewClient("client", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consensus, err := tn.Discover(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var path []Descriptor
+	for _, d := range consensus {
+		if !d.Exit && len(path) < 2 {
+			path = append(path, d)
+		}
+	}
+	path = append(path, restricted.Descriptor())
+	circ, err := c.BuildCircuit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer circ.Close()
+	// The web service is not in the exit's policy.
+	_, err = circ.Get(WebHost+"|"+WebService, []byte("req"))
+	if err == nil || !strings.Contains(err.Error(), "exit policy") {
+		t.Fatalf("policy-violating stream err = %v", err)
+	}
+}
+
+func TestPickPathForRespectsExitPolicy(t *testing.T) {
+	tn := deploy(t, ModeBaseline)
+	if _, err := tn.AddOR(ORConfig{
+		Name: "dns-exit", Exit: true,
+		ExitPolicy: ExitPolicy{AllowedServices: []string{"dns"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := tn.NewClient("client", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consensus, err := tn.Discover(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		path, err := c.PickPathFor(consensus, 3, WebService)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exit := path[len(path)-1]
+		if exit.Name == "dns-exit" {
+			t.Fatal("path selection chose an exit whose policy forbids the destination")
+		}
+		if !exit.Policy.Allows(WebService) {
+			t.Fatalf("exit %s does not allow %s", exit.Name, WebService)
+		}
+	}
+	// A service nobody allows.
+	tnRestricted, err := Deploy(NetworkConfig{Mode: ModeBaseline, Authorities: 1, Relays: 2, Exits: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := tnRestricted.NewClient("c2", 1)
+	cons2, err := tnRestricted.Discover(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.PickPathFor(cons2, 3, WebService); err == nil {
+		t.Fatal("path found without any exit")
+	}
+}
+
+func TestGuardPreferredAsEntry(t *testing.T) {
+	tn := deploy(t, ModeBaseline)
+	g, err := tn.AddOR(ORConfig{Name: "guard-1", Guard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tn.NewClient("client", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consensus, err := tn.Discover(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		path, err := c.PickPath(consensus, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if path[0].Name != g.Name {
+			t.Fatalf("iteration %d: entry hop %s is not the guard", i, path[0].Name)
+		}
+	}
+	// Circuits through the guard still work.
+	path, _ := c.PickPath(consensus, 3)
+	circ, err := c.BuildCircuit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer circ.Close()
+	resp, err := circ.Get(WebHost+"|"+WebService, []byte("x"))
+	if err != nil || string(resp) != "content:x" {
+		t.Fatalf("%q %v", resp, err)
+	}
+}
+
+// TestOnPathCellCorruptionDetected: flipping bits in a relay cell breaks
+// the onion layer MAC; the circuit fails rather than delivering
+// corrupted data.
+func TestOnPathCellCorruptionDetected(t *testing.T) {
+	tn := deploy(t, ModeBaseline)
+	c, err := tn.NewClient("client", 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consensus, err := tn.Discover(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := c.PickPath(consensus, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := c.BuildCircuit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer circ.Close()
+	// Healthy exchange first.
+	if resp, err := circ.Get(WebHost+"|"+WebService, []byte("a")); err != nil || string(resp) != "content:a" {
+		t.Fatalf("%q %v", resp, err)
+	}
+	// Corrupt the next forward cell: the entry OR's peel fails, the
+	// circuit is destroyed, and the client sees an error instead of
+	// silently wrong data.
+	circ.conn.InjectCorrupt(1)
+	if _, err := circ.Get(WebHost+"|"+WebService, []byte("b")); err == nil {
+		t.Fatal("corrupted cell produced a successful exchange")
+	}
+}
+
+// TestPreferSGXPathSelection: in a mixed (incremental) deployment, a
+// PreferSGX client builds all-SGX circuits when the verified pool
+// suffices, and falls back gracefully when it does not.
+func TestPreferSGXPathSelection(t *testing.T) {
+	tn := deploy(t, ModeBaseline) // 5 legacy relays
+	// Add an SGX sub-population large enough for a 3-hop path.
+	for i := 0; i < 3; i++ {
+		if _, err := tn.AddOR(ORConfig{Name: sprintfT("sgx-or%d", i), Exit: i == 0, SGX: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	host, err := tn.newHost("pref-client", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(host, ClientConfig{Name: "pref-client", PreferSGX: true, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consensus, err := tn.Discover(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		path, err := c.PickPath(consensus, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range path {
+			if !d.SGX {
+				t.Fatalf("PreferSGX path used legacy relay %s", d.Name)
+			}
+		}
+	}
+	// Fallback: a 4-hop path cannot be all-SGX (only 3 exist).
+	path, err := c.PickPath(consensus, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := 0
+	for _, d := range path {
+		if !d.SGX {
+			legacy++
+		}
+	}
+	if legacy == 0 {
+		t.Fatal("4-hop path claims to be all-SGX with only 3 SGX relays")
+	}
+}
+
+func sprintfT(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,181 @@
+package tor
+
+import (
+	"testing"
+
+	"sgxnet/internal/community"
+)
+
+// TestRegistryDrivenRollover exercises §4 end to end in the Tor setting:
+// the foundation publishes release 1.0, authorities derive their
+// whitelist from the verified history, admit 1.0 relays; then release
+// 2.0 revokes 1.0, authorities update, re-verify, and drop the old
+// builds while a 2.0 relay is admitted.
+func TestRegistryDrivenRollover(t *testing.T) {
+	foundation, err := community.NewFoundation("tor-or")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := foundation.Publish("1.0", ORMeasurementForVersion(ORVersion)); err != nil {
+		t.Fatal(err)
+	}
+	registry, err := community.Follow("tor-or", foundation.HistoryPublicKey(), foundation.Chain(), foundation.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tn, err := Deploy(NetworkConfig{Mode: ModeSGXORs, Authorities: 2, Relays: 2, Exits: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the deploy-time whitelist for the registry-derived one and
+	// confirm the 1.0 relays still verify.
+	for _, a := range tn.Auths {
+		if err := a.SetORWhitelist(registry.Current()); err != nil {
+			t.Fatal(err)
+		}
+		if dropped := a.Reverify(); len(dropped) != 0 {
+			t.Fatalf("registry whitelist dropped current relays: %v", dropped)
+		}
+	}
+
+	// Release 2.0 revokes 1.0 (say, a circuit-handling bug).
+	if _, err := foundation.Publish("2.0", ORMeasurementForVersion("2.0"), "1.0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := registry.Update(foundation.Chain(), foundation.Head()); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range tn.Auths {
+		if err := a.SetORWhitelist(registry.Current()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A relay running the new release is admitted…
+	if _, err := tn.AddOR(ORConfig{Name: "or-new", Exit: true, SGX: true, Version: "2.0"}); err != nil {
+		t.Fatalf("2.0 relay rejected: %v", err)
+	}
+	// …and the re-verification scan drops every 1.0 relay.
+	for _, a := range tn.Auths {
+		dropped := a.Reverify()
+		if len(dropped) != 3 { // 2 relays + 1 exit from the original deploy
+			t.Fatalf("authority %s dropped %v, want the three 1.0 relays", a.Name, dropped)
+		}
+	}
+	consensus := Consensus(tn.Auths)
+	if len(consensus) != 1 || consensus[0].Name != "or-new" {
+		t.Fatalf("post-rollover consensus = %v", consensus)
+	}
+}
+
+// TestRegistryForkDetectedByRelayOperator: a relay operator following
+// the history spots a rewritten chain before trusting its whitelist.
+func TestRegistryForkDetectedByRelayOperator(t *testing.T) {
+	foundation, err := community.NewFoundation("tor-or")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundation.Publish("1.0", ORMeasurementForVersion(ORVersion))
+	operator, err := community.Follow("tor-or", foundation.HistoryPublicKey(), foundation.Chain(), foundation.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundation.Publish("1.1", ORMeasurementForVersion("1.1"))
+	if err := operator.Update(foundation.Chain(), foundation.Head()); err != nil {
+		t.Fatal(err)
+	}
+	// An attacker who somehow got the history key serves a rewritten
+	// chain; the operator's local prefix disagrees.
+	evil, _ := community.NewFoundation("tor-or")
+	evil.Publish("1.0", ORMeasurementForVersion("1.0-evil"))
+	if err := operator.Update(evil.Chain(), evil.Head()); err == nil {
+		t.Fatal("operator accepted a rewritten history")
+	}
+}
+
+// TestAuthorityRestartWithSealedState: the relay list survives an
+// authority reboot via sealed storage, never visible to the host.
+func TestAuthorityRestartWithSealedState(t *testing.T) {
+	tn, err := Deploy(NetworkConfig{Mode: ModeSGXORs, Authorities: 2, Relays: 2, Exits: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tn.Auths[0]
+	before := a.Vote()
+	if len(before) != 3 {
+		t.Fatalf("view = %v", before)
+	}
+	sealed, err := a.SealState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sealed blob must not reveal relay names to the host.
+	for _, d := range before {
+		if bytesContains(sealed, []byte(d.Name)) {
+			t.Fatalf("sealed state leaks relay name %q", d.Name)
+		}
+	}
+	if err := a.Restart(sealed); err != nil {
+		t.Fatal(err)
+	}
+	after := a.Vote()
+	if len(after) != len(before) {
+		t.Fatalf("view lost on restart: %d → %d", len(before), len(after))
+	}
+	for i := range before {
+		if after[i].Name != before[i].Name {
+			t.Fatalf("view differs after restart")
+		}
+	}
+	// Restart without state yields an empty view (cold start).
+	if err := a.Restart(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Vote()) != 0 {
+		t.Fatal("cold restart retained state")
+	}
+	// Tampered sealed blob is rejected.
+	sealed[8] ^= 1
+	if err := a.Restart(sealed); err == nil {
+		t.Fatal("tampered sealed state accepted")
+	}
+}
+
+func bytesContains(haystack, needle []byte) bool {
+	if len(needle) == 0 || len(haystack) < len(needle) {
+		return false
+	}
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		match := true
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLivenessScanDropsDeadOR: Reverify drops an OR whose host vanished
+// — the liveness determination authorities perform.
+func TestLivenessScanDropsDeadOR(t *testing.T) {
+	tn, err := Deploy(NetworkConfig{Mode: ModeSGXORs, Authorities: 1, Relays: 2, Exits: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := tn.ORs[0]
+	tn.Net.RemoveHost(victim.Host.Name())
+	a := tn.Auths[0]
+	dropped := a.Reverify()
+	if len(dropped) != 1 || dropped[0] != victim.Name {
+		t.Fatalf("dropped = %v, want [%s]", dropped, victim.Name)
+	}
+	if len(a.Vote()) != 2 {
+		t.Fatalf("view = %v", a.Vote())
+	}
+}
