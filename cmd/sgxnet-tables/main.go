@@ -7,67 +7,76 @@
 //	sgxnet-tables -table 1     # one table (1–4)
 //	sgxnet-tables -fig 3       # Figure 3 sweep
 //	sgxnet-tables -ablations   # ablation experiments only
+//	sgxnet-tables -faults      # fault-tolerance sweep (wall-clock sensitive)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"sgxnet/internal/eval"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sgxnet-tables: ")
-	table := flag.Int("table", 0, "regenerate one table (1-4); 0 = all")
-	fig := flag.Int("fig", 0, "regenerate one figure (3); 0 = all")
-	ablations := flag.Bool("ablations", false, "run only the ablation experiments")
-	csv := flag.Bool("csv", false, "emit Figure 3 as CSV (for plotting) instead of the text chart")
-	flag.Parse()
+// options selects which sections emit produces.
+type options struct {
+	table     int
+	fig       int
+	ablations bool
+	faults    bool
+	csv       bool
+}
 
-	w := os.Stdout
-	all := *table == 0 && *fig == 0 && !*ablations
+// all reports whether every deterministic section should run. The fault
+// sweep races real timeouts against goroutine scheduling, so its numbers
+// are not byte-reproducible; it only runs on request.
+func (o options) all() bool {
+	return o.table == 0 && o.fig == 0 && !o.ablations && !o.faults
+}
 
-	if *table == 1 || all {
+// emit writes the selected sections. Everything except the fault sweep
+// is byte-for-byte reproducible — the golden tests depend on it.
+func emit(w io.Writer, o options) error {
+	if o.table == 1 || o.all() {
 		rows, err := eval.Table1()
 		if err != nil {
-			log.Fatalf("table 1: %v", err)
+			return fmt.Errorf("table 1: %w", err)
 		}
 		eval.RenderTable1(w, rows)
 		fmt.Fprintln(w)
 	}
-	if *table == 2 || all {
+	if o.table == 2 || o.all() {
 		rows, err := eval.Table2()
 		if err != nil {
-			log.Fatalf("table 2: %v", err)
+			return fmt.Errorf("table 2: %w", err)
 		}
 		eval.RenderTable2(w, rows)
 		fmt.Fprintln(w)
 	}
-	if *table == 3 || all {
+	if o.table == 3 || o.all() {
 		rows, err := eval.Table3()
 		if err != nil {
-			log.Fatalf("table 3: %v", err)
+			return fmt.Errorf("table 3: %w", err)
 		}
 		eval.RenderTable3(w, rows)
 		fmt.Fprintln(w)
 	}
-	if *table == 4 || all {
+	if o.table == 4 || o.all() {
 		r, err := eval.Table4()
 		if err != nil {
-			log.Fatalf("table 4: %v", err)
+			return fmt.Errorf("table 4: %w", err)
 		}
 		eval.RenderTable4(w, r)
 		fmt.Fprintln(w)
 	}
-	if *fig == 3 || all {
+	if o.fig == 3 || o.all() {
 		pts, err := eval.Figure3(nil)
 		if err != nil {
-			log.Fatalf("figure 3: %v", err)
+			return fmt.Errorf("figure 3: %w", err)
 		}
-		if *csv {
+		if o.csv {
 			fmt.Fprintln(w, "ases,native_cycles,sgx_cycles")
 			for _, p := range pts {
 				fmt.Fprintf(w, "%d,%d,%d\n", p.N, p.NativeCycles, p.SGXCycles)
@@ -77,29 +86,54 @@ func main() {
 		}
 		fmt.Fprintln(w)
 	}
-	if *ablations || all {
+	if o.ablations || o.all() {
 		bpts, err := eval.AblationBatchSweep(nil)
 		if err != nil {
-			log.Fatalf("batch ablation: %v", err)
+			return fmt.Errorf("batch ablation: %w", err)
 		}
 		eval.RenderBatchSweep(w, bpts)
 		fmt.Fprintln(w)
 		sc, err := eval.AblationSMPC()
 		if err != nil {
-			log.Fatalf("smpc ablation: %v", err)
+			return fmt.Errorf("smpc ablation: %w", err)
 		}
 		eval.RenderSMPC(w, sc)
 		fmt.Fprintln(w)
 		dpts, err := eval.AblationDHTLookups(nil)
 		if err != nil {
-			log.Fatalf("dht ablation: %v", err)
+			return fmt.Errorf("dht ablation: %w", err)
 		}
 		eval.RenderDHTSweep(w, dpts)
 		fmt.Fprintln(w)
 		mc, err := eval.AblationMiddleboxApproaches()
 		if err != nil {
-			log.Fatalf("middlebox ablation: %v", err)
+			return fmt.Errorf("middlebox ablation: %w", err)
 		}
 		eval.RenderMboxApproaches(w, mc)
+		fmt.Fprintln(w)
+	}
+	if o.faults {
+		fpts, err := eval.AblationFaultTolerance(nil, 0)
+		if err != nil {
+			return fmt.Errorf("fault-tolerance sweep: %w", err)
+		}
+		eval.RenderFaultTolerance(w, fpts)
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sgxnet-tables: ")
+	var o options
+	flag.IntVar(&o.table, "table", 0, "regenerate one table (1-4); 0 = all")
+	flag.IntVar(&o.fig, "fig", 0, "regenerate one figure (3); 0 = all")
+	flag.BoolVar(&o.ablations, "ablations", false, "run only the ablation experiments")
+	flag.BoolVar(&o.faults, "faults", false, "run the fault-tolerance sweep (timing-dependent, excluded from -ablations and the default run)")
+	flag.BoolVar(&o.csv, "csv", false, "emit Figure 3 as CSV (for plotting) instead of the text chart")
+	flag.Parse()
+
+	if err := emit(os.Stdout, o); err != nil {
+		log.Fatal(err)
 	}
 }

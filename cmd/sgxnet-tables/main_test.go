@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenCases are the deterministic CLI invocations. The fault sweep is
+// deliberately absent: its numbers depend on real timeouts.
+var goldenCases = []struct {
+	name string
+	o    options
+}{
+	{"all", options{}},
+	{"table1", options{table: 1}},
+	{"table2", options{table: 2}},
+	{"table3", options{table: 3}},
+	{"table4", options{table: 4}},
+	{"fig3", options{fig: 3}},
+	{"fig3-csv", options{fig: 3, csv: true}},
+	{"ablations", options{ablations: true}},
+}
+
+func golden(name string) string { return filepath.Join("testdata", name+".golden") }
+
+// TestGoldenUpdate regenerates every golden transcript from scratch.
+// Run with -update after an intentional change to the instruction model
+// or the renderers; otherwise it is a no-op.
+func TestGoldenUpdate(t *testing.T) {
+	if !*update {
+		t.Skip("run with -update to rewrite the golden files")
+	}
+	for _, tc := range goldenCases {
+		var b bytes.Buffer
+		if err := emit(&b, tc.o); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := os.WriteFile(golden(tc.name), b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGolden checks the default run against all.golden byte for byte,
+// then checks each single-section golden without recomputing: emit
+// writes the same section bytes whether selected alone or as part of
+// the default run, so all.golden must be exactly the concatenation of
+// the per-section transcripts. Figure 3's sweep dominates the runtime;
+// this keeps the full golden sweep to one simulation pass.
+func TestGolden(t *testing.T) {
+	if *update {
+		t.Skip("goldens being rewritten")
+	}
+	var b bytes.Buffer
+	if err := emit(&b, options{}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := os.ReadFile(golden("all"))
+	if err != nil {
+		t.Fatalf("missing golden (rerun with -update): %v", err)
+	}
+	if !bytes.Equal(b.Bytes(), all) {
+		t.Fatalf("default output diverges from %s (rerun with -update if intended)\ngot:\n%s\nwant:\n%s",
+			golden("all"), b.Bytes(), all)
+	}
+	var concat []byte
+	for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "ablations"} {
+		sec, err := os.ReadFile(golden(name))
+		if err != nil {
+			t.Fatalf("missing golden (rerun with -update): %v", err)
+		}
+		if !bytes.Contains(all, sec) {
+			t.Errorf("%s is not a slice of all.golden (rerun with -update)", golden(name))
+		}
+		concat = append(concat, sec...)
+	}
+	if !bytes.Equal(concat, all) {
+		t.Error("per-section goldens do not concatenate to all.golden (rerun with -update)")
+	}
+}
+
+// TestGoldenCSV covers the one output shape all.golden cannot: the CSV
+// rendering of Figure 3's points.
+func TestGoldenCSV(t *testing.T) {
+	if *update {
+		t.Skip("goldens being rewritten")
+	}
+	if testing.Short() {
+		t.Skip("repeats the Figure 3 sweep; slow under -short")
+	}
+	var b bytes.Buffer
+	if err := emit(&b, options{fig: 3, csv: true}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(golden("fig3-csv"))
+	if err != nil {
+		t.Fatalf("missing golden (rerun with -update): %v", err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("CSV output diverges from %s (rerun with -update if intended)\ngot:\n%s\nwant:\n%s",
+			golden("fig3-csv"), b.Bytes(), want)
+	}
+}

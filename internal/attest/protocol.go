@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/big"
 	"sync"
+	"time"
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
@@ -472,15 +474,49 @@ func UnmarshalIdentity(b []byte) (Identity, bool) {
 	return id, true
 }
 
+// Abort discards the pending protocol run on a connection, releasing the
+// enclave-held state of an attestation that will never finish (peer died,
+// receive timed out, driver gave up). Established sessions are untouched.
+func (st *TargetState) Abort(connID uint32) {
+	st.pmu.Lock()
+	delete(st.pending, connID)
+	st.pmu.Unlock()
+}
+
+// Abort discards the pending challenge on a connection (see
+// TargetState.Abort).
+func (st *ChallengerState) Abort(connID uint32) {
+	st.pmu.Lock()
+	delete(st.pending, connID)
+	st.pmu.Unlock()
+}
+
 // Challenge drives the challenger side of one remote attestation over
 // conn. On success the enclave holds a session for the returned connID
 // and the attested peer identity is returned. On failure the connection
 // is closed so the remote side unblocks.
 func Challenge(enc *core.Enclave, shim *netsim.IOShim, conn *netsim.Conn, wantDH bool) (uint32, Identity, error) {
+	cid, id, err := challengeOnce(enc, shim, conn, wantDH, 0)
+	if err != nil {
+		return 0, Identity{}, err
+	}
+	return cid, id, nil
+}
+
+// challengeOnce is one attestation attempt with an optional deadline on
+// the two untrusted receives (0 blocks forever). Unlike Challenge it
+// returns the connID even on failure so the caller can Abort the pending
+// enclave state before retrying. A timed-out receive charges
+// core.CostRecvTimeout to the challenger enclave's meter: the enclave is
+// re-entered just to learn the attempt is dead.
+func challengeOnce(enc *core.Enclave, shim *netsim.IOShim, conn *netsim.Conn, wantDH bool, recvTimeout time.Duration) (uint32, Identity, error) {
 	cid := shim.Adopt(conn)
 	fail := func(err error) (uint32, Identity, error) {
+		if errors.Is(err, netsim.ErrTimeout) {
+			enc.Meter().ChargeNormal(core.CostRecvTimeout)
+		}
 		conn.Close()
-		return 0, Identity{}, err
+		return cid, Identity{}, err
 	}
 	arg := make([]byte, 5)
 	binary.LittleEndian.PutUint32(arg[:4], cid)
@@ -490,7 +526,7 @@ func Challenge(enc *core.Enclave, shim *netsim.IOShim, conn *netsim.Conn, wantDH
 	if _, err := enc.Call("attest.c.begin", arg); err != nil {
 		return fail(err)
 	}
-	ev, err := conn.Recv() // untrusted receive of public evidence
+	ev, err := conn.RecvTimeout(recvTimeout) // untrusted receive of public evidence
 	if err != nil {
 		return fail(err)
 	}
@@ -498,7 +534,7 @@ func Challenge(enc *core.Enclave, shim *netsim.IOShim, conn *netsim.Conn, wantDH
 	if err != nil {
 		return fail(err)
 	}
-	ackRaw, err := conn.Recv()
+	ackRaw, err := conn.RecvTimeout(recvTimeout)
 	if err != nil {
 		return fail(err)
 	}

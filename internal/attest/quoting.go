@@ -160,6 +160,14 @@ func (a *Agent) serveConn(c *netsim.Conn) {
 		// are not.
 		return
 	}
+	// Linger until the requester closes: under a fault schedule the final
+	// qe-bye may still be in flight (delayed), and closing now would race
+	// its delivery. The requester closes as soon as it has read it.
+	for {
+		if _, err := c.Recv(); err != nil {
+			return
+		}
+	}
 }
 
 // Close stops the agent and destroys the quoting enclave.

@@ -1,0 +1,122 @@
+package attest
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/netsim"
+)
+
+// Retry driver for remote attestation under a faulty network. The paper's
+// 9-message flow assumes every message arrives; against the adversary's
+// residual powers — delay, loss, reordering, denial of service — the
+// challenger needs deadlines and bounded retries. Each retry restarts the
+// whole protocol on a fresh connection with a fresh nonce (partial runs
+// cannot be resumed: the quote binds the nonce), and each charges the
+// challenger enclave's meter, so robustness shows up in the cost tables
+// rather than looking free.
+
+// RetryPolicy bounds the attestation retry loop.
+type RetryPolicy struct {
+	// Attempts is the total number of protocol runs tried (first attempt
+	// included) before giving up.
+	Attempts int
+
+	// RecvTimeout is the deadline on each untrusted receive in the
+	// driver; it is also the natural value for the server-side shim's
+	// SetRecvTimeout. Zero blocks forever (the pre-hardening behavior).
+	RecvTimeout time.Duration
+
+	// Backoff is the sleep before the second attempt; it doubles per
+	// retry, capped at BackoffMax.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+}
+
+// DefaultRetryPolicy is tuned for the simulator's time scale: fault
+// schedules delay links by milliseconds, so a 250ms deadline separates
+// "lost" from "slow" with wide margin while keeping tests fast.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 4, RecvTimeout: 250 * time.Millisecond,
+		Backoff: 10 * time.Millisecond, BackoffMax: 200 * time.Millisecond}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.Attempts <= 0 {
+		p.Attempts = d.Attempts
+	}
+	if p.RecvTimeout <= 0 {
+		p.RecvTimeout = d.RecvTimeout
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = d.Backoff
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = d.BackoffMax
+	}
+	return p
+}
+
+// Transient reports whether an attestation failure is worth retrying.
+// Policy rejections are final — the peer's build is not on the whitelist,
+// and dialing again will not change its measurement. Everything else
+// (timeouts, closed connections, crashed hosts, corrupted or truncated
+// messages) is attributed to the network adversary, whose interference a
+// fresh run can outlast.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var pe *ErrPolicy
+	return !errors.As(err, &pe)
+}
+
+// ChallengeRetry runs the challenger side with deadlines and bounded
+// exponential backoff. dial opens a fresh connection per attempt — the
+// application owns addressing and any preamble it must send before the
+// protocol (e.g. a service banner). On success it returns the live
+// connection, its connID (holding the established session), the attested
+// identity, and how many retries were needed. Pending enclave state of
+// failed attempts is aborted, and each retry charges
+// core.CostRetryAttempt to the challenger enclave's meter.
+func ChallengeRetry(enc *core.Enclave, shim *netsim.IOShim, st *ChallengerState,
+	dial func() (*netsim.Conn, error), wantDH bool, pol RetryPolicy) (*netsim.Conn, uint32, Identity, int, error) {
+	pol = pol.withDefaults()
+	backoff := pol.Backoff
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			enc.Meter().ChargeNormal(core.CostRetryAttempt)
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > pol.BackoffMax {
+				backoff = pol.BackoffMax
+			}
+		}
+		conn, err := dial()
+		if err != nil {
+			lastErr = err
+			if !Transient(err) {
+				break
+			}
+			continue
+		}
+		cid, id, err := challengeOnce(enc, shim, conn, wantDH, pol.RecvTimeout)
+		if err == nil {
+			return conn, cid, id, attempt, nil
+		}
+		st.Abort(cid)
+		// finish may have stored a session before the ack was lost; the
+		// connection is dead, so the session goes with it.
+		st.Drop(cid)
+		lastErr = err
+		if !Transient(err) {
+			break
+		}
+	}
+	return nil, 0, Identity{}, pol.Attempts - 1,
+		fmt.Errorf("attest: attestation failed after %d attempts: %w", pol.Attempts, lastErr)
+}

@@ -1,0 +1,178 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/netsim"
+)
+
+// serveAttest keeps responding to attestation requests on the target
+// host, tolerating failed runs (the fault engine kills some mid-flight).
+func serveAttest(t *testing.T, f *fixture) *netsim.Listener {
+	t.Helper()
+	l, err := f.hostT.Listen("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go l.Serve(func(c *netsim.Conn) {
+		_, _ = Respond(f.target, f.tShim, f.hostT, c)
+	})
+	return l
+}
+
+func TestChallengeRetrySurvivesDrops(t *testing.T) {
+	f := newFixture(t, Policy{})
+	// Lossy in both directions between the hosts; local (quoting) links
+	// untouched. Server-side receives must time out or failed runs would
+	// wedge the responder forever.
+	fs := netsim.NewFaultSchedule(1).
+		AddLink(netsim.LinkFaults{From: "challenger-host", To: "target-host", DropProb: 0.3}).
+		AddLink(netsim.LinkFaults{From: "target-host", To: "challenger-host", DropProb: 0.3})
+	f.net.SetFaults(fs)
+	f.tShim.SetRecvTimeout(60 * time.Millisecond)
+	l := serveAttest(t, f)
+	defer l.Close()
+
+	pol := RetryPolicy{Attempts: 12, RecvTimeout: 80 * time.Millisecond}
+	conn, cid, id, retries, err := ChallengeRetry(f.challenger, f.cShim, f.cState,
+		func() (*netsim.Conn, error) { return f.hostC.Dial("target-host", "app") }, false, pol)
+	if err != nil {
+		t.Fatalf("attestation never survived the loss (schedule %v): %v", fs, err)
+	}
+	defer conn.Close()
+	if id.MREnclave != f.target.MREnclave() {
+		t.Fatal("attested identity is not the target's")
+	}
+	if _, ok := f.cState.Session(cid); !ok {
+		t.Fatal("no session on the surviving connection")
+	}
+	if fs.Stats().Dropped == 0 {
+		t.Fatal("schedule never dropped anything — test exercises nothing")
+	}
+	if retries == 0 {
+		t.Fatalf("expected at least one retry under 30%% loss (seed %d)", fs.Seed())
+	}
+	if f.cState.Count() != 1 {
+		t.Fatalf("%d sessions after retries, want exactly 1", f.cState.Count())
+	}
+}
+
+func TestRetryChargesTheMeter(t *testing.T) {
+	f := newFixture(t, Policy{})
+	// No listener at all: every attempt dies on ErrNoRoute.
+	f.challenger.Meter().Reset()
+	pol := RetryPolicy{Attempts: 3, RecvTimeout: 20 * time.Millisecond,
+		Backoff: time.Millisecond, BackoffMax: 2 * time.Millisecond}
+	_, _, _, _, err := ChallengeRetry(f.challenger, f.cShim, f.cState,
+		func() (*netsim.Conn, error) { return f.hostC.Dial("target-host", "app") }, false, pol)
+	if !errors.Is(err, netsim.ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+	if got, want := f.challenger.Meter().Normal(), uint64(2*core.CostRetryAttempt); got != want {
+		t.Fatalf("meter normal = %d, want %d (2 retries)", got, want)
+	}
+}
+
+func TestChallengeTimesOutAgainstSilentTarget(t *testing.T) {
+	f := newFixture(t, Policy{})
+	l, err := f.hostT.Listen("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go l.Serve(func(c *netsim.Conn) { /* accept and say nothing */ })
+
+	f.challenger.Meter().Reset()
+	pol := RetryPolicy{Attempts: 2, RecvTimeout: 30 * time.Millisecond,
+		Backoff: time.Millisecond, BackoffMax: time.Millisecond}
+	_, _, _, _, err = ChallengeRetry(f.challenger, f.cShim, f.cState,
+		func() (*netsim.Conn, error) { return f.hostC.Dial("target-host", "app") }, false, pol)
+	if !errors.Is(err, netsim.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// 2 timed-out receives + 1 retry, on top of two begin-handler runs.
+	if got := f.challenger.Meter().Normal(); got < 2*core.CostRecvTimeout+core.CostRetryAttempt {
+		t.Fatalf("meter normal = %d, timeouts/retries not charged", got)
+	}
+	// Both attempts' pending challenges were aborted.
+	f.cState.pmu.Lock()
+	n := len(f.cState.pending)
+	f.cState.pmu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d pending challenges leaked after aborts", n)
+	}
+}
+
+func TestPolicyRejectionIsNotRetried(t *testing.T) {
+	var wrong core.Measurement
+	wrong[0] = 0xee
+	f := newFixture(t, Policy{AllowedEnclaves: []core.Measurement{wrong}})
+	l := serveAttest(t, f)
+	defer l.Close()
+
+	dials := 0
+	pol := RetryPolicy{Attempts: 5, RecvTimeout: 200 * time.Millisecond,
+		Backoff: time.Millisecond, BackoffMax: time.Millisecond}
+	_, _, _, _, err := ChallengeRetry(f.challenger, f.cShim, f.cState,
+		func() (*netsim.Conn, error) { dials++; return f.hostC.Dial("target-host", "app") }, false, pol)
+	if err == nil {
+		t.Fatal("policy rejection vanished")
+	}
+	var pe *ErrPolicy
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ErrPolicy", err)
+	}
+	if dials != 1 {
+		t.Fatalf("permanent failure retried: %d dials", dials)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	f := newFixture(t, Policy{})
+	f.cState.SetTTL(time.Hour)
+	cid, _, ce, te := f.run(t, true)
+	if ce != nil || te != nil {
+		t.Fatalf("ce=%v te=%v", ce, te)
+	}
+	s, ok := f.cState.Session(cid)
+	if !ok || s.Expires.IsZero() {
+		t.Fatal("TTL did not stamp an expiry")
+	}
+	m := core.NewMeter()
+	if _, err := f.cState.Seal(m, cid, []byte("x")); err != nil {
+		t.Fatalf("fresh session unusable: %v", err)
+	}
+
+	f.cState.Expire(cid)
+	if _, err := f.cState.Seal(m, cid, []byte("x")); !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("err = %v, want ErrSessionExpired", err)
+	}
+	if m.Normal() < core.CostSessionReestablish {
+		t.Fatal("expiry detection not charged")
+	}
+	// Evicted: further use reports no session, and the table is clean for
+	// the re-attestation that must follow.
+	if _, err := f.cState.Open(m, cid, nil); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("err = %v, want ErrNoSession after eviction", err)
+	}
+	if _, ok := f.cState.Session(cid); ok {
+		t.Fatal("expired session still listed")
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	for _, err := range []error{netsim.ErrTimeout, netsim.ErrClosed, netsim.ErrHostDown, netsim.ErrNoRoute} {
+		if !Transient(err) {
+			t.Fatalf("%v should be transient", err)
+		}
+	}
+	if Transient(&ErrPolicy{Reason: "revoked build"}) {
+		t.Fatal("policy rejection classified transient")
+	}
+	if Transient(nil) {
+		t.Fatal("nil error classified transient")
+	}
+}

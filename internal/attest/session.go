@@ -3,6 +3,7 @@ package attest
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/sgxcrypto"
@@ -16,13 +17,15 @@ type Session struct {
 	Peer    Identity
 	Secret  [32]byte
 	Channel *sgxcrypto.Channel // nil when attestation ran without DH
+	Expires time.Time          // zero = no expiry
 }
 
 // SessionTable tracks sessions by the connection they were established
 // on. It is embedded in both protocol states.
 type SessionTable struct {
-	mu sync.Mutex
-	m  map[uint32]*Session
+	mu  sync.Mutex
+	m   map[uint32]*Session
+	ttl time.Duration
 }
 
 // ErrNoSession is returned for connections without an attested session.
@@ -32,21 +35,81 @@ var ErrNoSession = errors.New("attest: no attested session on this connection")
 // therefore has no secure channel.
 var ErrNoChannel = errors.New("attest: session has no secure channel (attested without DH)")
 
+// ErrSessionExpired is returned when a session has outlived the table's
+// TTL; the session is evicted and the peer must re-attest. Freshness
+// bounds how long a since-compromised (or since-revoked) peer can keep
+// using an old attestation.
+var ErrSessionExpired = errors.New("attest: session expired; re-attest to continue")
+
+// SetTTL bounds the lifetime of sessions established after the call;
+// zero (the default) disables expiry.
+func (t *SessionTable) SetTTL(d time.Duration) {
+	t.mu.Lock()
+	t.ttl = d
+	t.mu.Unlock()
+}
+
 func (t *SessionTable) put(connID uint32, s *Session) {
 	t.mu.Lock()
 	if t.m == nil {
 		t.m = make(map[uint32]*Session)
 	}
+	if t.ttl > 0 && s.Expires.IsZero() {
+		s.Expires = time.Now().Add(t.ttl)
+	}
 	t.m[connID] = s
 	t.mu.Unlock()
 }
 
-// Session returns the session established on a connection.
+// expired reports whether the session has a deadline in the past.
+// Caller holds t.mu (Expires is written under it by Expire).
+func (s *Session) expired() bool {
+	return !s.Expires.IsZero() && time.Now().After(s.Expires)
+}
+
+// Expire force-ends a session's validity immediately (revocation, or a
+// test standing in for the passage of time). The entry stays until its
+// next use reports ErrSessionExpired, mirroring how real expiry is only
+// observed lazily.
+func (t *SessionTable) Expire(connID uint32) {
+	t.mu.Lock()
+	if s, ok := t.m[connID]; ok {
+		s.Expires = time.Unix(1, 0)
+	}
+	t.mu.Unlock()
+}
+
+// Session returns the session established on a connection. Expired
+// sessions are evicted and reported as absent.
 func (t *SessionTable) Session(connID uint32) (*Session, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s, ok := t.m[connID]
+	if ok && s.expired() {
+		delete(t.m, connID)
+		return nil, false
+	}
 	return s, ok
+}
+
+// live fetches a session for use, evicting it with ErrSessionExpired —
+// and charging the re-establishment detection cost — when it has aged
+// out.
+func (t *SessionTable) live(m *core.Meter, connID uint32) (*Session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.m[connID]
+	if !ok {
+		return nil, ErrNoSession
+	}
+	if s.expired() {
+		delete(t.m, connID)
+		if m != nil {
+			m.ChargeNormal(core.CostSessionReestablish)
+		}
+		return nil, ErrSessionExpired
+	}
+	return s, nil
 }
 
 // Drop forgets a session.
@@ -66,9 +129,9 @@ func (t *SessionTable) Count() int {
 // Seal encrypts a message on the session's secure channel, charging the
 // enclave meter.
 func (t *SessionTable) Seal(m *core.Meter, connID uint32, msg []byte) ([]byte, error) {
-	s, ok := t.Session(connID)
-	if !ok {
-		return nil, ErrNoSession
+	s, err := t.live(m, connID)
+	if err != nil {
+		return nil, err
 	}
 	if s.Channel == nil {
 		return nil, ErrNoChannel
@@ -78,9 +141,9 @@ func (t *SessionTable) Seal(m *core.Meter, connID uint32, msg []byte) ([]byte, e
 
 // Open authenticates and decrypts a channel message.
 func (t *SessionTable) Open(m *core.Meter, connID uint32, sealed []byte) ([]byte, error) {
-	s, ok := t.Session(connID)
-	if !ok {
-		return nil, ErrNoSession
+	s, err := t.live(m, connID)
+	if err != nil {
+		return nil, err
 	}
 	if s.Channel == nil {
 		return nil, ErrNoChannel

@@ -147,6 +147,28 @@ const (
 
 	CostPageAdd     = 1_800 // EADD + 16×EEXTEND measurement of one 4KiB page
 	CostEnclaveInit = 9_000 // EINIT signature check bookkeeping
+
+	// --- Fault tolerance (this repo's extension beyond the paper) ---
+	//
+	// The paper's protocols assume a benign scheduler; hardening them
+	// against loss, delay, and crashes adds instructions that the tables
+	// must account for, or robustness would look free. These are charged
+	// by the retry/timeout machinery in attest, sdnctl, and tor.
+
+	// CostRecvTimeout is charged when a receive deadline expires: timer
+	// arming, the fruitless wakeup, and the error path back out of the
+	// OCALL frame.
+	CostRecvTimeout = 8_000
+
+	// CostRetryAttempt is charged per protocol retry: tearing down the
+	// failed attempt's state, backoff bookkeeping, and redialing.
+	CostRetryAttempt = 50_000
+
+	// CostSessionReestablish is charged when an expired attested session
+	// is detected and scheduled for re-establishment (table lookup,
+	// expiry check, teardown) — the attestation itself then charges its
+	// own Table 1 costs again.
+	CostSessionReestablish = 20_000
 )
 
 // MTUBytes is the packet size used throughout the I/O evaluation.

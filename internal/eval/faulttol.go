@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sgxnet/internal/attest"
+	"sgxnet/internal/netsim"
+)
+
+// Fault-tolerance ablation: how the hardened attestation protocol
+// degrades as the network adversary's residual powers (delay, loss,
+// reordering — §2.1's threat model minus what the channel MACs already
+// turn into hard failures) grow. For each fault intensity the rig runs
+// repeated remote attestations through the retry driver and reports the
+// success rate, how many retries the survivors needed, and the cycle
+// overhead relative to the clean run — every timeout and retry charges
+// the challenger's meter, so robustness is priced, not free.
+//
+// The sweep is wall-clock sensitive (timeouts race real goroutine
+// scheduling), so unlike the tables it is NOT golden-tested and is not
+// part of sgxnet-tables' default output; it runs under the -faults flag.
+
+// FaultTolerancePoint is one intensity step of the ablation.
+type FaultTolerancePoint struct {
+	// Intensity is the per-link message drop probability.
+	Intensity float64
+	// Trials is the number of attestation runs attempted.
+	Trials int
+	// Successes counts runs that established a session within the
+	// retry budget.
+	Successes int
+	// Retries totals the extra protocol runs across all trials.
+	Retries int
+	// AvgCycles is the mean challenger cycle cost of a successful run
+	// (retries and timeouts included); zero if nothing succeeded.
+	AvgCycles uint64
+	// Overhead is AvgCycles relative to the clean (intensity 0) run.
+	Overhead float64
+	// Stats sums the fault engine's interventions over all trials.
+	Stats netsim.FaultStats
+}
+
+// faultTolPolicy bounds each trial: a budget of six protocol runs, and
+// deadlines far above the simulator's sub-millisecond fault delays —
+// the clean point must never time out, even when -race slows the DH
+// and signing work by an order of magnitude.
+func faultTolPolicy() attest.RetryPolicy {
+	return attest.RetryPolicy{Attempts: 6, RecvTimeout: 800 * time.Millisecond,
+		Backoff: time.Millisecond, BackoffMax: 8 * time.Millisecond}
+}
+
+// faultTolSchedule builds the per-trial disturbance: every link —
+// including the host-local quoting-enclave hop — sees latency, jitter,
+// and occasional reordering, plus drops at the swept intensity.
+func faultTolSchedule(seed int64, drop float64) *netsim.FaultSchedule {
+	return netsim.NewFaultSchedule(seed).AddLink(netsim.LinkFaults{
+		Latency:     200 * time.Microsecond,
+		Jitter:      200 * time.Microsecond,
+		DropProb:    drop,
+		ReorderProb: 0.02,
+	})
+}
+
+// AblationFaultTolerance sweeps drop intensity against attestation
+// success rate and cycle overhead. A nil intensities slice uses the
+// default sweep (which starts at 0, the overhead baseline); trials <= 0
+// defaults to 4 runs per point. Schedules are seeded deterministically
+// per (point, trial), so the fault draws replay; only the wall-clock
+// timeout behavior is environment-dependent.
+func AblationFaultTolerance(intensities []float64, trials int) ([]FaultTolerancePoint, error) {
+	if intensities == nil {
+		intensities = []float64{0, 0.02, 0.05, 0.10, 0.20}
+	}
+	if trials <= 0 {
+		trials = 4
+	}
+	pol := faultTolPolicy()
+	var pts []FaultTolerancePoint
+	var baseline uint64
+	for i, drop := range intensities {
+		rig, err := newAttestRig()
+		if err != nil {
+			return nil, err
+		}
+		rig.tShim.SetRecvTimeout(pol.RecvTimeout)
+		l, err := rig.hostT.Listen("app")
+		if err != nil {
+			return nil, err
+		}
+		go l.Serve(func(c *netsim.Conn) {
+			defer c.Close()
+			if _, err := attest.Respond(rig.target, rig.tShim, rig.hostT, c); err != nil {
+				return
+			}
+			// Linger: the challenger closes once it is done with the
+			// session; closing first would race delayed deliveries.
+			for {
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+			}
+		})
+
+		pt := FaultTolerancePoint{Intensity: drop, Trials: trials}
+		var cycles uint64
+		for trial := 0; trial < trials; trial++ {
+			fs := faultTolSchedule(int64(7000+100*i+trial), drop)
+			rig.net.SetFaults(fs)
+			rig.challenger.Meter().Reset()
+			dial := func() (*netsim.Conn, error) { return rig.hostC.Dial("target-host", "app") }
+			conn, cid, _, retries, err := attest.ChallengeRetry(
+				rig.challenger, rig.cShim, rig.cState, dial, true, pol)
+			pt.Retries += retries
+			if err == nil {
+				pt.Successes++
+				cycles += rig.challenger.Meter().Snapshot().Cycles()
+				rig.cState.Drop(cid)
+				conn.Close()
+			}
+			rig.net.SetFaults(nil)
+			st := fs.Stats()
+			pt.Stats.Dropped += st.Dropped
+			pt.Stats.Duplicated += st.Duplicated
+			pt.Stats.Corrupted += st.Corrupted
+			pt.Stats.Reordered += st.Reordered
+			pt.Stats.Delayed += st.Delayed
+			pt.Stats.Partitioned += st.Partitioned
+			pt.Stats.Crashes += st.Crashes
+			pt.Stats.Restarts += st.Restarts
+		}
+		l.Close()
+		if pt.Successes > 0 {
+			pt.AvgCycles = cycles / uint64(pt.Successes)
+		}
+		if i == 0 {
+			baseline = pt.AvgCycles
+		}
+		if baseline > 0 && pt.AvgCycles > 0 {
+			pt.Overhead = float64(pt.AvgCycles) / float64(baseline)
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// RenderFaultTolerance prints the sweep.
+func RenderFaultTolerance(w io.Writer, pts []FaultTolerancePoint) {
+	fmt.Fprintln(w, "Ablation: attestation fault tolerance (drop intensity vs success and cost)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "drop\tsuccess\tretries\tchallenger cycles\toverhead\tdropped\tdelayed")
+	for _, p := range pts {
+		over := "-"
+		if p.Overhead > 0 {
+			over = fmt.Sprintf("%.2fx", p.Overhead)
+		}
+		fmt.Fprintf(tw, "%.0f%%\t%d/%d\t%d\t%s\t%s\t%d\t%d\n",
+			p.Intensity*100, p.Successes, p.Trials, p.Retries,
+			fmtM(p.AvgCycles), over, p.Stats.Dropped, p.Stats.Delayed)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "retries and timeouts are metered: overhead is the price of surviving loss")
+}

@@ -30,6 +30,7 @@ type attestRig struct {
 	cShim      *netsim.IOShim
 	hostT      *netsim.SimHost
 	hostC      *netsim.SimHost
+	cState     *attest.ChallengerState
 }
 
 func newAttestRig() (*attestRig, error) {
@@ -81,6 +82,7 @@ func newAttestRig() (*attestRig, error) {
 	r.target.BindHost(&mhT)
 
 	cst := attest.NewChallengerState(attest.Policy{})
+	r.cState = cst
 	cprog := &core.Program{Name: "eval-challenger", Version: "1", Handlers: map[string]core.Handler{}}
 	attest.AddChallengerHandlers(cprog, cst)
 	r.challenger, err = r.hostC.Platform().Launch(cprog, signer)

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sgxnet/internal/core"
 )
@@ -37,6 +39,12 @@ type IOShim struct {
 	mu     sync.Mutex
 	conns  map[uint32]*Conn
 	nextID uint32
+
+	// recvTimeout bounds every recv OCALL; 0 blocks forever (the seed's
+	// behavior). A timed-out recv charges CostRecvTimeout — the enclave
+	// re-entered just to learn nothing arrived — and returns ErrTimeout
+	// so the protocol driver can retry.
+	recvTimeout atomic.Int64
 }
 
 // NewIOShim creates the data-plane shim for an enclave on the given host;
@@ -173,6 +181,10 @@ func (s *IOShim) batch(arg []byte) ([]byte, error) {
 	return nil, nil
 }
 
+// SetRecvTimeout bounds all subsequent recv OCALLs through this shim;
+// d <= 0 restores blocking receives.
+func (s *IOShim) SetRecvTimeout(d time.Duration) { s.recvTimeout.Store(int64(d)) }
+
 func (s *IOShim) recv(arg []byte) ([]byte, error) {
 	c, _, err := s.lookup(arg)
 	if err != nil {
@@ -180,7 +192,11 @@ func (s *IOShim) recv(arg []byte) ([]byte, error) {
 	}
 	s.meter.ChargeNormal(core.CostIOCallFixed + core.CostIOPerPacket)
 	s.meter.ChargeSGX(s.boundarySGX)
-	return c.Recv()
+	p, err := c.RecvTimeout(time.Duration(s.recvTimeout.Load()))
+	if errors.Is(err, ErrTimeout) {
+		s.meter.ChargeNormal(core.CostRecvTimeout)
+	}
+	return p, err
 }
 
 func (s *IOShim) closeConn(arg []byte) ([]byte, error) {

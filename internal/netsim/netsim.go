@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sgxnet/internal/core"
 )
@@ -24,6 +25,11 @@ import (
 type Network struct {
 	mu    sync.Mutex
 	hosts map[string]*SimHost
+	conns map[*Conn]struct{}
+
+	// faults, when set, is the installed disturbance plan consulted on
+	// every Send (see faults.go).
+	faults atomic.Pointer[FaultSchedule]
 
 	// Stats
 	messages atomic.Uint64
@@ -32,8 +38,16 @@ type Network struct {
 
 // New creates an empty network.
 func New() *Network {
-	return &Network{hosts: make(map[string]*SimHost)}
+	return &Network{hosts: make(map[string]*SimHost), conns: make(map[*Conn]struct{})}
 }
+
+// SetFaults installs a fault schedule; nil removes it. Install before
+// traffic starts — the virtual clock counts from the first Send the
+// schedule observes.
+func (n *Network) SetFaults(s *FaultSchedule) { n.faults.Store(s) }
+
+// Faults returns the installed fault schedule, if any.
+func (n *Network) Faults() *FaultSchedule { return n.faults.Load() }
 
 // Messages reports the total messages delivered.
 func (n *Network) Messages() uint64 { return n.messages.Load() }
@@ -47,6 +61,7 @@ type SimHost struct {
 	name string
 	net  *Network
 	plat *core.Platform
+	down atomic.Bool
 
 	mu        sync.Mutex
 	listeners map[string]*Listener
@@ -90,6 +105,60 @@ func (n *Network) RemoveHost(name string) {
 		l.close()
 	}
 	h.listeners = map[string]*Listener{}
+}
+
+// Crash takes a host down without deregistering it: listeners close,
+// live connections touching the host die, and dials to it fail with
+// ErrHostDown until Restart. This models a reboot rather than
+// RemoveHost's permanent disappearance.
+func (n *Network) Crash(name string) {
+	n.mu.Lock()
+	h := n.hosts[name]
+	var victims []*Conn
+	for c := range n.conns {
+		select {
+		case <-c.closed: // already dead; drop the registry entry
+			delete(n.conns, c)
+		default:
+			if c.local == name || c.remote == name {
+				victims = append(victims, c)
+				delete(n.conns, c)
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+	if h == nil {
+		return
+	}
+	h.down.Store(true)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, l := range h.listeners {
+		l.close()
+	}
+	h.listeners = map[string]*Listener{}
+}
+
+// Restart brings a crashed host back up. Reachability returns; services
+// must be re-registered with Listen (a reboot forgets its sockets).
+func (n *Network) Restart(name string) {
+	n.mu.Lock()
+	h := n.hosts[name]
+	n.mu.Unlock()
+	if h != nil {
+		h.down.Store(false)
+	}
+}
+
+// Down reports whether a host is currently crashed.
+func (n *Network) Down(name string) bool {
+	n.mu.Lock()
+	h := n.hosts[name]
+	n.mu.Unlock()
+	return h != nil && h.down.Load()
 }
 
 // Host looks up a host by name.
@@ -160,6 +229,14 @@ var ErrClosed = errors.New("netsim: connection closed")
 // ErrNoRoute is returned when dialing an unknown host or service.
 var ErrNoRoute = errors.New("netsim: no route to host/service")
 
+// ErrHostDown is returned when dialing a crashed host.
+var ErrHostDown = errors.New("netsim: host down")
+
+// ErrTimeout is returned by RecvTimeout when the deadline expires. The
+// connection stays usable — timeouts are how protocol drivers detect
+// loss and decide to retry.
+var ErrTimeout = errors.New("netsim: receive timed out")
+
 // Send delivers a payload to the peer. The payload is copied.
 func (c *Conn) Send(p []byte) error {
 	cp := append([]byte(nil), p...)
@@ -187,6 +264,13 @@ func (c *Conn) Send(p []byte) error {
 		return ErrClosed
 	default:
 	}
+	if plan := c.net.faults.Load(); plan != nil {
+		if !plan.process(c.net, c.local, c.remote, cp, c.deliver) {
+			// Consumed by the schedule: dropped, held for reordering, or
+			// delivered asynchronously after its scheduled delay.
+			return nil
+		}
+	}
 	select {
 	case c.send <- cp:
 		c.net.messages.Add(1)
@@ -194,6 +278,28 @@ func (c *Conn) Send(p []byte) error {
 		return nil
 	case <-c.closed:
 		return ErrClosed
+	}
+}
+
+// deliver pushes an (engine-scheduled) payload to the peer, dropping it
+// if the connection has died in the meantime.
+func (c *Conn) deliver(p []byte) {
+	// Prefer the buffered channel even when the connection has closed:
+	// Recv drains buffered payloads before reporting closure, so a
+	// delayed in-flight message that lands just after a close is still
+	// readable — like data flushed by TCP before a FIN.
+	select {
+	case c.send <- p:
+		c.net.messages.Add(1)
+		c.net.bytes.Add(uint64(len(p)))
+		return
+	default:
+	}
+	select {
+	case c.send <- p:
+		c.net.messages.Add(1)
+		c.net.bytes.Add(uint64(len(p)))
+	case <-c.closed:
 	}
 }
 
@@ -215,6 +321,35 @@ func (c *Conn) Recv() ([]byte, error) {
 		default:
 		}
 		return nil, ErrClosed
+	}
+}
+
+// RecvTimeout blocks for the next payload, giving up after d. A zero or
+// negative d means no deadline. On ErrTimeout the connection remains
+// usable; a late payload stays queued for the next receive.
+func (c *Conn) RecvTimeout(d time.Duration) ([]byte, error) {
+	if d <= 0 {
+		return c.Recv()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case p, ok := <-c.recv:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return p, nil
+	case <-c.closed:
+		select {
+		case p, ok := <-c.recv:
+			if ok {
+				return p, nil
+			}
+		default:
+		}
+		return nil, ErrClosed
+	case <-timer.C:
+		return nil, ErrTimeout
 	}
 }
 
@@ -301,6 +436,12 @@ func (h *SimHost) Dial(remote, service string) (*Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: host %q", ErrNoRoute, remote)
 	}
+	if h.down.Load() {
+		return nil, fmt.Errorf("%w: %q (local)", ErrHostDown, h.name)
+	}
+	if rh.down.Load() {
+		return nil, fmt.Errorf("%w: %q", ErrHostDown, remote)
+	}
 	rh.mu.Lock()
 	l, ok := rh.listeners[service]
 	rh.mu.Unlock()
@@ -318,5 +459,8 @@ func (h *SimHost) Dial(remote, service string) (*Conn, error) {
 	case <-l.done:
 		return nil, ErrClosed
 	}
+	h.net.mu.Lock()
+	h.net.conns[local] = struct{}{}
+	h.net.mu.Unlock()
 	return local, nil
 }

@@ -2,6 +2,7 @@ package sdnctl
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -209,8 +210,29 @@ type ASLocal struct {
 	State   *ASLocalState
 	Shim    *netsim.IOShim
 
-	conn   *netsim.Conn
-	connID uint32
+	conn    *netsim.Conn
+	connID  uint32
+	ctlHost string
+
+	// retry, when set, arms every operation with deadlines and automatic
+	// re-attestation (see SetRetryPolicy).
+	retry *attest.RetryPolicy
+
+	// Retries counts attestation retries; Reattests counts full channel
+	// re-establishments after a loss. Driver-side bookkeeping — read them
+	// between operations, not concurrently with one.
+	Retries   int
+	Reattests int
+}
+
+// SetRetryPolicy makes the AS-local controller fault-tolerant: dials and
+// attestations retry with backoff, enclave receives time out instead of
+// blocking forever, and operations that die with the channel re-attest
+// the controller and run again. Without it, behavior is the seed's:
+// block, and fail permanently on the first lost message.
+func (a *ASLocal) SetRetryPolicy(pol attest.RetryPolicy) {
+	a.retry = &pol
+	a.Shim.SetRecvTimeout(pol.RecvTimeout)
 }
 
 // LaunchASLocal launches the AS-local controller enclave.
@@ -230,8 +252,21 @@ func LaunchASLocal(host *netsim.SimHost, signer *core.Signer, policy *PolicyMsg,
 }
 
 // Connect dials the controller and remote-attests it (with DH: the
-// secure channel carries everything that follows).
+// secure channel carries everything that follows). With a retry policy
+// set, the dial and the 9-message protocol retry under faults.
 func (a *ASLocal) Connect(controllerHost string) error {
+	a.ctlHost = controllerHost
+	if a.retry != nil {
+		conn, cid, _, retries, err := attest.ChallengeRetry(a.Enclave, a.Shim, a.State.Attest,
+			func() (*netsim.Conn, error) { return a.Host.Dial(controllerHost, ControllerService) },
+			true, *a.retry)
+		a.Retries += retries
+		if err != nil {
+			return fmt.Errorf("sdnctl: AS%d attestation of controller failed: %w", a.ASN, err)
+		}
+		a.conn, a.connID = conn, cid
+		return nil
+	}
 	conn, err := a.Host.Dial(controllerHost, ControllerService)
 	if err != nil {
 		return err
@@ -244,20 +279,61 @@ func (a *ASLocal) Connect(controllerHost string) error {
 	return nil
 }
 
+// reconnectable classifies operation failures that a fresh attested
+// channel can cure: the transport died, a receive timed out, or the
+// session aged out. Controller-side refusals (policy mismatch, stale
+// routes) pass through untouched.
+func reconnectable(err error) bool {
+	return errors.Is(err, netsim.ErrClosed) || errors.Is(err, netsim.ErrTimeout) ||
+		errors.Is(err, netsim.ErrHostDown) || errors.Is(err, netsim.ErrNoRoute) ||
+		errors.Is(err, attest.ErrNoSession) || errors.Is(err, attest.ErrSessionExpired)
+}
+
+// withReconnect runs op; if it dies with the channel and a retry policy
+// is set, the channel is torn down, the controller re-attested, and op
+// retried — the session-expiry/crash recovery loop. Each cycle charges
+// core.CostRetryAttempt (the op's own instructions are charged by the op).
+func (a *ASLocal) withReconnect(op func() error) error {
+	err := op()
+	if a.retry == nil || err == nil || !reconnectable(err) {
+		return err
+	}
+	for attempt := 1; attempt < a.retry.Attempts; attempt++ {
+		a.Enclave.Meter().ChargeNormal(core.CostRetryAttempt)
+		if a.conn != nil {
+			a.conn.Close()
+		}
+		a.State.Attest.Abort(a.connID)
+		a.State.Attest.Drop(a.connID)
+		if cerr := a.Connect(a.ctlHost); cerr != nil {
+			return cerr
+		}
+		a.Reattests++
+		if err = op(); err == nil || !reconnectable(err) {
+			return err
+		}
+	}
+	return err
+}
+
 // Upload sends the AS policy.
 func (a *ASLocal) Upload() error {
-	arg := make([]byte, 4)
-	binary.LittleEndian.PutUint32(arg, a.connID)
-	_, err := a.Enclave.Call("aslocal.upload", arg)
-	return err
+	return a.withReconnect(func() error {
+		arg := make([]byte, 4)
+		binary.LittleEndian.PutUint32(arg, a.connID)
+		_, err := a.Enclave.Call("aslocal.upload", arg)
+		return err
+	})
 }
 
 // Fetch retrieves and installs this AS's routes.
 func (a *ASLocal) Fetch() error {
-	arg := make([]byte, 4)
-	binary.LittleEndian.PutUint32(arg, a.connID)
-	_, err := a.Enclave.Call("aslocal.fetch", arg)
-	return err
+	return a.withReconnect(func() error {
+		arg := make([]byte, 4)
+		binary.LittleEndian.PutUint32(arg, a.connID)
+		_, err := a.Enclave.Call("aslocal.fetch", arg)
+		return err
+	})
 }
 
 // Reconfigure installs a new local policy into the enclave and uploads
@@ -280,18 +356,23 @@ func (a *ASLocal) Do(req *Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	arg := make([]byte, 4+len(raw))
-	binary.LittleEndian.PutUint32(arg[:4], a.connID)
-	copy(arg[4:], raw)
-	out, err := a.Enclave.Call("aslocal.request", arg)
-	if err != nil {
-		return nil, err
-	}
-	var resp Response
-	if err := DecodeMsg(out, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
+	var resp *Response
+	err = a.withReconnect(func() error {
+		arg := make([]byte, 4+len(raw))
+		binary.LittleEndian.PutUint32(arg[:4], a.connID)
+		copy(arg[4:], raw)
+		out, err := a.Enclave.Call("aslocal.request", arg)
+		if err != nil {
+			return err
+		}
+		var r Response
+		if err := DecodeMsg(out, &r); err != nil {
+			return err
+		}
+		resp = &r
+		return nil
+	})
+	return resp, err
 }
 
 // Close tears down the controller connection and the enclave.

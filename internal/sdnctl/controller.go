@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"sgxnet/internal/attest"
 	"sgxnet/internal/bgp"
@@ -63,6 +64,15 @@ func (st *ControllerState) Computed() bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.computed
+}
+
+// BoundASes reports how many ASes currently hold a live attested channel
+// binding — the controller's own view of deployment health, and what the
+// Degraded response flag is computed from.
+func (st *ControllerState) BoundASes() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.asnConn)
 }
 
 // Stats returns the last computation's work statistics.
@@ -161,7 +171,12 @@ func (st *ControllerState) dispatch(m *core.Meter, cid uint32, req *Request) *Re
 		for _, r := range rib {
 			msg.Routes = append(msg.Routes, r)
 		}
-		return &Response{OK: true, Routes: msg}
+		// Degraded mode: the computation is still valid, but not every AS
+		// holds a live attested channel right now (crash, partition). The
+		// surviving ASes keep routing on the last good computation and are
+		// told so, rather than being refused service by an outage they are
+		// not part of.
+		return &Response{OK: true, Routes: msg, Degraded: len(st.asnConn) < st.n}
 
 	case req.Register != nil:
 		p := *req.Register
@@ -300,12 +315,35 @@ func LaunchController(host *netsim.SimHost, signer *core.Signer, n int) (*Contro
 	return c, nil
 }
 
+// Release unbinds a dead connection's ASN and forgets its session and
+// any pending attestation, so the AS can reconnect and re-attest on a
+// fresh channel. The computed routes stay valid — losing a channel is an
+// outage, not a policy change.
+func (st *ControllerState) Release(cid uint32) {
+	st.Attest.Abort(cid)
+	st.Attest.Drop(cid)
+	st.mu.Lock()
+	if asn, ok := st.connASN[cid]; ok {
+		delete(st.connASN, cid)
+		if st.asnConn[asn] == cid {
+			delete(st.asnConn, asn)
+		}
+	}
+	st.mu.Unlock()
+}
+
+// SetRecvTimeout bounds the controller enclave's receives — required when
+// a fault schedule can kill an AS mid-attestation, or the responder would
+// block forever inside a half-finished protocol run.
+func (c *Controller) SetRecvTimeout(d time.Duration) { c.Shim.SetRecvTimeout(d) }
+
 func (c *Controller) serveConn(conn *netsim.Conn) {
 	cid, err := attest.Respond(c.Enclave, c.Shim, c.Host, conn)
 	if err != nil {
 		conn.Close()
 		return
 	}
+	defer c.State.Release(cid)
 	for {
 		sealed, err := conn.Recv()
 		if err != nil {

@@ -101,6 +101,13 @@ type Response struct {
 	Verdict *Verdict
 	OK      bool
 	Err     string
+
+	// Degraded marks a response served while some ASes are disconnected
+	// from the controller (crash, partition): the routes are the last
+	// valid computation, not reflective of whatever the unreachable ASes
+	// would upload next. Routes invalidated by a policy change are never
+	// served, degraded or not.
+	Degraded bool
 }
 
 // Verdict is a predicate-verification result: the Boolean outcome and

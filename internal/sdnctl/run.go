@@ -32,6 +32,13 @@ type RunReport struct {
 	RIBs map[int]bgp.RIB
 	// Installed maps ASN → routes the AS-local controller installed.
 	Installed map[int][]bgp.Route
+
+	// Retries and Reattests total the attestation retries and channel
+	// re-establishments across all AS-local controllers (zero for clean
+	// runs). FaultStats snapshots the schedule's interventions.
+	Retries    int
+	Reattests  int
+	FaultStats netsim.FaultStats
 }
 
 // ASLocalAvg averages the AS-local tallies.
@@ -59,6 +66,18 @@ func RunSGX(t *topo.Topology) (*RunReport, error) {
 // live controller and AS-local controllers to extra — for predicate
 // registration/verification (§3.1) or dynamic reconfiguration.
 func RunSGXWithPredicates(t *topo.Topology, extra func(ctl *Controller, locals []*ASLocal) error) (*RunReport, error) {
+	return runSGX(t, nil, nil, extra)
+}
+
+// RunSGXFaulted runs the SGX deployment under a fault schedule with every
+// controller armed by the retry policy: attestations retry with backoff,
+// receives time out, and lost channels are re-attested. The schedule is
+// installed before the attestation phase, so it disturbs the entire run.
+func RunSGXFaulted(t *topo.Topology, fs *netsim.FaultSchedule, pol attest.RetryPolicy) (*RunReport, error) {
+	return runSGX(t, fs, &pol, nil)
+}
+
+func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy, extra func(ctl *Controller, locals []*ASLocal) error) (*RunReport, error) {
 	n := t.N()
 	net := netsim.New()
 	arch, err := core.NewSigner()
@@ -105,6 +124,19 @@ func RunSGXWithPredicates(t *topo.Topology, extra func(ctl *Controller, locals [
 		defer asl.Close()
 	}
 
+	// Arm the deployment and install the disturbance plan before any
+	// protocol traffic, so the whole run — attestation included — is
+	// exposed to it.
+	if pol != nil {
+		ctl.SetRecvTimeout(pol.RecvTimeout)
+		for _, asl := range locals {
+			asl.SetRetryPolicy(*pol)
+		}
+	}
+	if fs != nil {
+		net.SetFaults(fs)
+	}
+
 	// Attestation phase (one remote attestation per AS controller).
 	attestations := 0
 	for _, asl := range locals {
@@ -146,6 +178,11 @@ func RunSGXWithPredicates(t *topo.Topology, extra func(ctl *Controller, locals [
 	for _, asl := range locals {
 		rep.ASLocal = append(rep.ASLocal, asl.Enclave.Meter().Snapshot())
 		rep.Installed[asl.ASN] = asl.State.Installed()
+		rep.Retries += asl.Retries
+		rep.Reattests += asl.Reattests
+	}
+	if fs != nil {
+		rep.FaultStats = fs.Stats()
 	}
 	if extra != nil {
 		if err := extra(ctl, locals); err != nil {

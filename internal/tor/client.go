@@ -3,9 +3,11 @@ package tor
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"math/big"
 	"math/rand"
+	"time"
 
 	"sgxnet/internal/attest"
 	"sgxnet/internal/core"
@@ -51,9 +53,42 @@ type Client struct {
 	meter   *core.Meter
 	rng     *rand.Rand
 
+	// retry, when set, arms every network operation with deadlines and
+	// bounded retries (see SetRetryPolicy).
+	retry       *attest.RetryPolicy
+	recvTimeout time.Duration
+
 	// Attestations counts remote attestations this client performed
 	// (Table 3's "Tor network (Client)" row: one per authority).
 	Attestations int
+	// Retries counts retried attempts (attestation re-runs, circuit
+	// re-picks) and Rebuilds counts full circuit teardown/rebuild cycles.
+	Retries  int
+	Rebuilds int
+}
+
+// SetRetryPolicy makes the client fault-tolerant: directory fetches and
+// OR attestations retry with backoff, cell receives time out instead of
+// blocking forever, and failed circuit builds re-pick a path around the
+// relay they blame. Without it, behavior is the seed's: block, and fail
+// permanently on the first lost message.
+func (c *Client) SetRetryPolicy(pol attest.RetryPolicy) {
+	c.retry = &pol
+	c.recvTimeout = pol.RecvTimeout
+	if c.shim != nil {
+		c.shim.SetRecvTimeout(pol.RecvTimeout)
+	}
+}
+
+// recv reads from conn under the client's receive deadline, charging the
+// timeout's busy-wait cost when it expires (same accounting as the
+// enclave I/O shim).
+func (c *Client) recv(conn *netsim.Conn) ([]byte, error) {
+	raw, err := conn.RecvTimeout(c.recvTimeout)
+	if errors.Is(err, netsim.ErrTimeout) {
+		c.meter.ChargeNormal(core.CostRecvTimeout)
+	}
+	return raw, err
 }
 
 // ClientConfig configures a client.
@@ -144,21 +179,49 @@ func (c *Client) FetchConsensus(authorityHosts []string) ([]Descriptor, error) {
 }
 
 func (c *Client) fetchOne(authorityHost string) ([]Descriptor, error) {
-	conn, err := c.Host.Dial(authorityHost, DirService)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	if c.SGX {
-		if err := conn.Send([]byte("attest")); err != nil {
-			return nil, err
+	var conn *netsim.Conn
+	if c.SGX && c.retry != nil {
+		dial := func() (*netsim.Conn, error) {
+			cn, err := c.Host.Dial(authorityHost, DirService)
+			if err != nil {
+				return nil, err
+			}
+			if err := cn.Send([]byte("attest")); err != nil {
+				cn.Close()
+				return nil, err
+			}
+			return cn, nil
 		}
-		c.Attestations++
-		if _, _, err := attest.Challenge(c.enclave, c.shim, conn, true); err != nil {
+		cn, _, _, retries, err := attest.ChallengeRetry(c.enclave, c.shim, c.cstate, dial, true, *c.retry)
+		c.Retries += retries
+		c.Attestations += 1 + retries
+		if err != nil {
 			return nil, fmt.Errorf("tor: authority %s failed attestation: %w", authorityHost, err)
 		}
+		conn = cn
+	} else {
+		cn, err := c.Host.Dial(authorityHost, DirService)
+		if err != nil {
+			return nil, err
+		}
+		conn = cn
+		if c.SGX {
+			if err := conn.Send([]byte("attest")); err != nil {
+				conn.Close()
+				return nil, err
+			}
+			c.Attestations++
+			if _, _, err := attest.Challenge(c.enclave, c.shim, conn, true); err != nil {
+				conn.Close()
+				return nil, fmt.Errorf("tor: authority %s failed attestation: %w", authorityHost, err)
+			}
+		}
 	}
-	raw, err := conn.Request([]byte("consensus"))
+	defer conn.Close()
+	if err := conn.Send([]byte("consensus")); err != nil {
+		return nil, err
+	}
+	raw, err := c.recv(conn)
 	if err != nil {
 		return nil, err
 	}
@@ -171,6 +234,27 @@ func (c *Client) fetchOne(authorityHost string) ([]Descriptor, error) {
 func (c *Client) AttestOR(d Descriptor) error {
 	if !c.SGX {
 		return fmt.Errorf("tor: non-SGX client cannot attest")
+	}
+	if c.retry != nil {
+		dial := func() (*netsim.Conn, error) {
+			cn, err := c.Host.Dial(d.Host, ORService)
+			if err != nil {
+				return nil, err
+			}
+			if err := cn.Send([]byte("attest")); err != nil {
+				cn.Close()
+				return nil, err
+			}
+			return cn, nil
+		}
+		conn, _, _, retries, err := attest.ChallengeRetry(c.enclave, c.shim, c.cstate, dial, true, *c.retry)
+		c.Retries += retries
+		c.Attestations += 1 + retries
+		if err != nil {
+			return fmt.Errorf("tor: OR %s failed attestation: %w", d.Name, err)
+		}
+		conn.Close()
+		return nil
 	}
 	conn, err := c.Host.Dial(d.Host, ORService)
 	if err != nil {
@@ -275,60 +359,157 @@ func (c *Client) PickPathFor(consensus []Descriptor, length int, destService str
 // BuildCircuit telescopes a circuit along the path: CREATE to the entry,
 // then RelayExtend through the growing tunnel, with a fresh DH per hop.
 func (c *Client) BuildCircuit(path []Descriptor) (*Circuit, error) {
+	circ, _, err := c.buildBlamed(path)
+	return circ, err
+}
+
+// buildBlamed is BuildCircuit returning which hop it blames for a
+// failure (an index into path, or -1 when no relay is at fault). Dial
+// and CREATE failures blame the entry; an EXTEND failure blames the hop
+// being added — the client cannot see which relay inside the tunnel
+// actually misbehaved, so the extend target is the best suspect, and
+// BuildCircuitRetry's fresh random paths absorb a wrong guess.
+func (c *Client) buildBlamed(path []Descriptor) (*Circuit, int, error) {
 	if len(path) == 0 {
-		return nil, fmt.Errorf("tor: empty path")
+		return nil, -1, fmt.Errorf("tor: empty path")
 	}
 	conn, err := c.Host.Dial(path[0].Host, ORService)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	circ := &Circuit{client: c, conn: conn, circID: uint32(c.rng.Int31()) | 1, path: path, nextSt: 1}
 
 	// Hop 1: CREATE.
 	dh, err := sgxcrypto.GenerateKey(c.meter, sgxcrypto.StandardGroup(), nil)
 	if err != nil {
-		return nil, err
+		conn.Close()
+		return nil, -1, err
 	}
 	create := Cell{CircID: circ.circID, Cmd: CmdCreate, Payload: dh.Public.Bytes()}
 	out, err := create.Marshal()
 	if err != nil {
-		return nil, err
+		conn.Close()
+		return nil, -1, err
 	}
 	if err := conn.Send(out); err != nil {
-		return nil, err
+		conn.Close()
+		return nil, 0, err
 	}
 	created, err := c.expectCell(conn, circ.circID, CmdCreated)
 	if err != nil {
-		return nil, fmt.Errorf("tor: CREATE to %s: %w", path[0].Name, err)
+		conn.Close()
+		return nil, 0, fmt.Errorf("tor: CREATE to %s: %w", path[0].Name, err)
 	}
 	ch, err := c.deriveHop(dh, created.Payload)
 	if err != nil {
-		return nil, err
+		conn.Close()
+		return nil, 0, err
 	}
 	circ.hops = append(circ.hops, ch)
 
 	// Hops 2..n: EXTEND through the tunnel.
-	for _, hop := range path[1:] {
+	for i, hop := range path[1:] {
 		dh, err := sgxcrypto.GenerateKey(c.meter, sgxcrypto.StandardGroup(), nil)
 		if err != nil {
-			return nil, err
+			circ.Close()
+			return nil, -1, err
 		}
 		data := append(append([]byte(hop.Host), 0), dh.Public.Bytes()...)
 		rc := RelayCell{Cmd: RelayExtend, Data: data}
 		reply, err := circ.exchange(rc)
 		if err != nil {
-			return nil, fmt.Errorf("tor: extending to %s: %w", hop.Name, err)
+			circ.Close()
+			return nil, 1 + i, fmt.Errorf("tor: extending to %s: %w", hop.Name, err)
 		}
 		if reply.Cmd != RelayExtended {
-			return nil, fmt.Errorf("tor: extend to %s refused: %s", hop.Name, reply.Data)
+			circ.Close()
+			return nil, 1 + i, fmt.Errorf("tor: extend to %s refused: %s", hop.Name, reply.Data)
 		}
 		ch, err := c.deriveHop(dh, reply.Data)
 		if err != nil {
-			return nil, err
+			circ.Close()
+			return nil, 1 + i, err
 		}
 		circ.hops = append(circ.hops, ch)
 	}
-	return circ, nil
+	return circ, -1, nil
+}
+
+// filterDescriptors drops excluded relays from a consensus copy.
+func filterDescriptors(ds []Descriptor, excluded map[string]bool) []Descriptor {
+	if len(excluded) == 0 {
+		return ds
+	}
+	out := make([]Descriptor, 0, len(ds))
+	for _, d := range ds {
+		if !excluded[d.Name] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// BuildCircuitRetry picks a path and builds a circuit, retrying with
+// fresh random paths under the client's retry policy when relays fail.
+// Blamed relays are excluded from subsequent picks for the duration of
+// the call (blame is forgiven if it starves the pool — a wrong guess
+// must not make the build impossible). Each retry charges
+// core.CostRetryAttempt. Without a retry policy it is a single-shot
+// pick-and-build.
+func (c *Client) BuildCircuitRetry(consensus []Descriptor, length int, destService string) (*Circuit, error) {
+	if c.retry == nil {
+		path, err := c.PickPathFor(consensus, length, destService)
+		if err != nil {
+			return nil, err
+		}
+		return c.BuildCircuit(path)
+	}
+	pol := *c.retry
+	backoff := pol.Backoff
+	excluded := make(map[string]bool)
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			c.meter.ChargeNormal(core.CostRetryAttempt)
+			c.Retries++
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > pol.BackoffMax {
+				backoff = pol.BackoffMax
+			}
+		}
+		path, err := c.PickPathFor(filterDescriptors(consensus, excluded), length, destService)
+		if err != nil {
+			if len(excluded) == 0 {
+				return nil, err // the full consensus cannot support the path
+			}
+			excluded = make(map[string]bool)
+			if path, err = c.PickPathFor(consensus, length, destService); err != nil {
+				return nil, err
+			}
+		}
+		circ, blamed, err := c.buildBlamed(path)
+		if err == nil {
+			return circ, nil
+		}
+		if blamed >= 0 && blamed < len(path) {
+			excluded[path[blamed].Name] = true
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("tor: circuit build failed after %d attempts: %w", pol.Attempts, lastErr)
+}
+
+// RebuildCircuit tears down a dead circuit and builds a replacement —
+// the relay-failure recovery path. Nothing is excluded a priori: the
+// build-retry loop discovers which relay is unreachable and routes
+// around it.
+func (c *Client) RebuildCircuit(dead *Circuit, consensus []Descriptor, length int, destService string) (*Circuit, error) {
+	if dead != nil {
+		dead.Close()
+	}
+	c.Rebuilds++
+	return c.BuildCircuitRetry(consensus, length, destService)
 }
 
 func (c *Client) deriveHop(dh *sgxcrypto.DHKey, peerPub []byte) (*sgxcrypto.Channel, error) {
@@ -339,10 +520,12 @@ func (c *Client) deriveHop(dh *sgxcrypto.DHKey, peerPub []byte) (*sgxcrypto.Chan
 	return sgxcrypto.NewChannel(c.meter, secret)
 }
 
-// expectCell reads cells until one matches (circID, cmd).
+// expectCell reads cells until one matches (circID, cmd), honoring the
+// client's receive deadline so a lost cell surfaces as ErrTimeout
+// instead of wedging the circuit forever.
 func (c *Client) expectCell(conn *netsim.Conn, circID uint32, cmd Command) (Cell, error) {
 	for {
-		raw, err := conn.Recv()
+		raw, err := c.recv(conn)
 		if err != nil {
 			return Cell{}, err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"sgxnet/internal/attest"
 	"sgxnet/internal/core"
@@ -177,6 +178,15 @@ func LaunchAuthority(host *netsim.SimHost, cfg AuthorityConfig) (*Authority, err
 	return a, nil
 }
 
+// SetRecvTimeout bounds the authority enclave's receives — required
+// under a fault schedule, where a lost challenger message would
+// otherwise wedge the responder inside a half-finished attestation.
+func (a *Authority) SetRecvTimeout(d time.Duration) {
+	if a.shim != nil {
+		a.shim.SetRecvTimeout(d)
+	}
+}
+
 // serveConn answers directory requests. SGX authorities first serve a
 // remote attestation when the peer asks for one.
 func (a *Authority) serveConn(conn *netsim.Conn) {
@@ -208,7 +218,17 @@ func (a *Authority) serveConn(conn *netsim.Conn) {
 	if err != nil {
 		return
 	}
-	conn.Send(out)
+	if conn.Send(out) != nil {
+		return
+	}
+	// Linger until the requester closes: under a fault schedule the
+	// consensus may still be in flight (delayed), and closing now would
+	// race its delivery.
+	for {
+		if _, err := conn.Recv(); err != nil {
+			return
+		}
+	}
 }
 
 // launchEnclave (re)creates the authority enclave with a fresh view.
