@@ -1,0 +1,25 @@
+# Convenience targets; CI runs the same commands directly.
+
+.PHONY: build test race bench bench-smoke tables
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench regenerates BENCH_results.json — the committed perf baseline.
+# Run it on an idle machine; the JSON records GOMAXPROCS and the date.
+bench:
+	go run ./cmd/benchjson -out BENCH_results.json
+
+# bench-smoke is the CI guard: every benchmark must still run (one
+# iteration each), without asserting anything about its speed.
+bench-smoke:
+	go test -run '^$$' -bench=. -benchtime=1x ./...
+
+tables:
+	go run ./cmd/sgxnet-tables

@@ -9,6 +9,8 @@ package sgxnet_test
 // Run with: go test -bench=. -benchmem
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"sgxnet/internal/eval"
@@ -18,6 +20,30 @@ import (
 	"sgxnet/internal/bgp"
 	"sgxnet/internal/sdnctl"
 )
+
+// BenchmarkFullSweep runs the Figure 3 sweep — the transcript's dominant
+// workload — through the evaluation engine at worker counts 1 and
+// GOMAXPROCS. The ratio of the two ns/op numbers is the engine's
+// speedup on this machine (1× on a single-core runner, where the
+// caller-runs pool degrades to serial by design); BENCH_results.json
+// records both.
+func BenchmarkFullSweep(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := eval.NewRunner(workers)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pts, err := r.Figure3(nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(pts) != 10 {
+					b.Fatal("missing points")
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkTable1RemoteAttestation regenerates Table 1 (remote
 // attestation instruction counts, with and without DH).

@@ -1,0 +1,126 @@
+// Command benchjson runs the repository's benchmarks and records the
+// results as machine-readable JSON (BENCH_results.json at the repo root,
+// via make bench). Committing the file gives every PR a baseline to diff
+// perf work against without re-deriving it from CI logs.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_results.json] [-benchtime 1s] [-pattern .]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other reported unit (the harness's custom
+	// b.ReportMetric values, e.g. "target-normal-inst").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file's top-level shape.
+type Report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Command    string   `json:"command"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "BENCH_results.json", "output file")
+	benchtime := flag.String("benchtime", "1s", "passed to go test -benchtime")
+	pattern := flag.String("pattern", ".", "passed to go test -bench")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *pattern,
+		"-benchmem", "-benchtime", *benchtime, "./..."}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	// go test exits nonzero when any package fails; the benchmark lines
+	// that did run are still worth keeping, so report but continue.
+	if err != nil {
+		log.Printf("go %s: %v (parsing partial output)", strings.Join(args, " "), err)
+	}
+
+	rep := &Report{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Command:    "go " + strings.Join(args, " "),
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if r, ok := parseLine(line); ok {
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	if len(rep.Results) == 0 {
+		log.Fatal("no benchmark lines parsed")
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+// parseLine decodes one line of standard go-test benchmark output:
+//
+//	BenchmarkName-8   100   1234 ns/op   56 B/op   7 allocs/op   9 extra-unit
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}

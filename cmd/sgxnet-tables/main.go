@@ -8,9 +8,11 @@
 //	sgxnet-tables -fig 3       # Figure 3 sweep
 //	sgxnet-tables -ablations   # ablation experiments only
 //	sgxnet-tables -faults      # fault-tolerance sweep (wall-clock sensitive)
+//	sgxnet-tables -workers 8   # evaluation-engine parallelism (0 = GOMAXPROCS)
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +29,7 @@ type options struct {
 	ablations bool
 	faults    bool
 	csv       bool
+	workers   int // evaluation-engine parallelism; 0 = GOMAXPROCS
 }
 
 // all reports whether every deterministic section should run. The fault
@@ -36,88 +39,115 @@ func (o options) all() bool {
 	return o.table == 0 && o.fig == 0 && !o.ablations && !o.faults
 }
 
-// emit writes the selected sections. Everything except the fault sweep
-// is byte-for-byte reproducible — the golden tests depend on it.
+// emit writes the selected sections. Each section is an independent
+// scenario run: it renders into a private buffer on the evaluation
+// engine's worker pool, and the buffers are concatenated in canonical
+// section order. Everything except the fault sweep is byte-for-byte
+// reproducible at any worker count — the golden tests depend on it.
 func emit(w io.Writer, o options) error {
-	if o.table == 1 || o.all() {
-		rows, err := eval.Table1()
-		if err != nil {
-			return fmt.Errorf("table 1: %w", err)
+	r := eval.NewRunner(o.workers)
+	section := func(name string, render func(w io.Writer) error) eval.Section {
+		return func() ([]byte, error) {
+			var b bytes.Buffer
+			if err := render(&b); err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintln(&b)
+			return b.Bytes(), nil
 		}
-		eval.RenderTable1(w, rows)
-		fmt.Fprintln(w)
+	}
+
+	var sections []eval.Section
+	if o.table == 1 || o.all() {
+		sections = append(sections, section("table 1", func(w io.Writer) error {
+			rows, err := eval.Table1()
+			if err != nil {
+				return err
+			}
+			eval.RenderTable1(w, rows)
+			return nil
+		}))
 	}
 	if o.table == 2 || o.all() {
-		rows, err := eval.Table2()
-		if err != nil {
-			return fmt.Errorf("table 2: %w", err)
-		}
-		eval.RenderTable2(w, rows)
-		fmt.Fprintln(w)
+		sections = append(sections, section("table 2", func(w io.Writer) error {
+			rows, err := eval.Table2()
+			if err != nil {
+				return err
+			}
+			eval.RenderTable2(w, rows)
+			return nil
+		}))
 	}
 	if o.table == 3 || o.all() {
-		rows, err := eval.Table3()
-		if err != nil {
-			return fmt.Errorf("table 3: %w", err)
-		}
-		eval.RenderTable3(w, rows)
-		fmt.Fprintln(w)
+		sections = append(sections, section("table 3", func(w io.Writer) error {
+			rows, err := eval.Table3()
+			if err != nil {
+				return err
+			}
+			eval.RenderTable3(w, rows)
+			return nil
+		}))
 	}
 	if o.table == 4 || o.all() {
-		r, err := eval.Table4()
-		if err != nil {
-			return fmt.Errorf("table 4: %w", err)
-		}
-		eval.RenderTable4(w, r)
-		fmt.Fprintln(w)
+		sections = append(sections, section("table 4", func(w io.Writer) error {
+			res, err := r.Table4At(30)
+			if err != nil {
+				return err
+			}
+			eval.RenderTable4(w, res)
+			return nil
+		}))
 	}
 	if o.fig == 3 || o.all() {
-		pts, err := eval.Figure3(nil)
-		if err != nil {
-			return fmt.Errorf("figure 3: %w", err)
-		}
-		if o.csv {
-			fmt.Fprintln(w, "ases,native_cycles,sgx_cycles")
-			for _, p := range pts {
-				fmt.Fprintf(w, "%d,%d,%d\n", p.N, p.NativeCycles, p.SGXCycles)
+		sections = append(sections, section("figure 3", func(w io.Writer) error {
+			pts, err := r.Figure3(nil)
+			if err != nil {
+				return err
 			}
-		} else {
-			eval.RenderFigure3(w, pts)
-		}
-		fmt.Fprintln(w)
+			if o.csv {
+				fmt.Fprintln(w, "ases,native_cycles,sgx_cycles")
+				for _, p := range pts {
+					fmt.Fprintf(w, "%d,%d,%d\n", p.N, p.NativeCycles, p.SGXCycles)
+				}
+			} else {
+				eval.RenderFigure3(w, pts)
+			}
+			return nil
+		}))
 	}
 	if o.ablations || o.all() {
-		bpts, err := eval.AblationBatchSweep(nil)
-		if err != nil {
-			return fmt.Errorf("batch ablation: %w", err)
-		}
-		eval.RenderBatchSweep(w, bpts)
-		fmt.Fprintln(w)
-		sc, err := eval.AblationSMPC()
-		if err != nil {
-			return fmt.Errorf("smpc ablation: %w", err)
-		}
-		eval.RenderSMPC(w, sc)
-		fmt.Fprintln(w)
-		dpts, err := eval.AblationDHTLookups(nil)
-		if err != nil {
-			return fmt.Errorf("dht ablation: %w", err)
-		}
-		eval.RenderDHTSweep(w, dpts)
-		fmt.Fprintln(w)
-		mc, err := eval.AblationMiddleboxApproaches()
-		if err != nil {
-			return fmt.Errorf("middlebox ablation: %w", err)
-		}
-		eval.RenderMboxApproaches(w, mc)
-		fmt.Fprintln(w)
+		// RenderAblations emits the blank line after each of its four
+		// sub-blocks itself, so this section skips the shared trailer.
+		sections = append(sections, func() ([]byte, error) {
+			var b bytes.Buffer
+			s, err := r.Ablations()
+			if err != nil {
+				return nil, fmt.Errorf("ablations: %w", err)
+			}
+			eval.RenderAblations(&b, s)
+			return b.Bytes(), nil
+		})
 	}
 	if o.faults {
-		fpts, err := eval.AblationFaultTolerance(nil, 0)
-		if err != nil {
-			return fmt.Errorf("fault-tolerance sweep: %w", err)
+		sections = append(sections, func() ([]byte, error) {
+			fpts, err := r.FaultTolerance(nil, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fault-tolerance sweep: %w", err)
+			}
+			var b bytes.Buffer
+			eval.RenderFaultTolerance(&b, fpts)
+			return b.Bytes(), nil
+		})
+	}
+
+	outs, err := r.RenderAll(sections)
+	if err != nil {
+		return err
+	}
+	for _, out := range outs {
+		if _, err := w.Write(out); err != nil {
+			return err
 		}
-		eval.RenderFaultTolerance(w, fpts)
 	}
 	return nil
 }
@@ -131,6 +161,7 @@ func main() {
 	flag.BoolVar(&o.ablations, "ablations", false, "run only the ablation experiments")
 	flag.BoolVar(&o.faults, "faults", false, "run the fault-tolerance sweep (timing-dependent, excluded from -ablations and the default run)")
 	flag.BoolVar(&o.csv, "csv", false, "emit Figure 3 as CSV (for plotting) instead of the text chart")
+	flag.IntVar(&o.workers, "workers", 0, "evaluation-engine worker pool size; 0 = GOMAXPROCS, 1 = serial")
 	flag.Parse()
 
 	if err := emit(os.Stdout, o); err != nil {

@@ -84,6 +84,31 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// TestParallelSerialEquivalence is the evaluation engine's end-to-end
+// determinism gate: the full transcript rendered strictly serially
+// (-workers 1) and at high parallelism (-workers 8, oversubscribed on
+// small machines on purpose) must be byte-identical. CI runs this under
+// -race, so it also shakes out data races in the fan-out itself.
+func TestParallelSerialEquivalence(t *testing.T) {
+	if *update {
+		t.Skip("goldens being rewritten")
+	}
+	if testing.Short() {
+		t.Skip("renders the full transcript twice; slow under -short")
+	}
+	var serial, parallel bytes.Buffer
+	if err := emit(&serial, options{workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := emit(&parallel, options{workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("-workers 8 transcript diverges from -workers 1\nserial:\n%s\nparallel:\n%s",
+			serial.Bytes(), parallel.Bytes())
+	}
+}
+
 // TestGoldenCSV covers the one output shape all.golden cannot: the CSV
 // rendering of Figure 3's points.
 func TestGoldenCSV(t *testing.T) {

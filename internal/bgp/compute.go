@@ -1,6 +1,9 @@
 package bgp
 
 import (
+	"runtime"
+	"sync"
+
 	"sgxnet/internal/topo"
 )
 
@@ -11,6 +14,12 @@ import (
 // until a fixpoint. Gao–Rexford relationships plus relationship-respecting
 // preferences guarantee a unique stable solution, which the distributed
 // simulator (distsim.go) independently converges to.
+//
+// Because the Jacobi step reads only the previous round's RIBs, the
+// per-source computations within a round are independent: ComputeAll
+// fans them out across a bounded worker pool and merges the per-source
+// results and work counters in source order, so the returned RIBs and
+// Stats are bit-identical at any worker count.
 
 // Stats describes the work a computation performed; the controller's
 // instruction accounting is driven by these numbers.
@@ -23,77 +32,164 @@ type Stats struct {
 	Evaluations int
 }
 
-// ComputeAll computes every AS's RIB.
+// add folds o into st.
+func (st *Stats) add(o Stats) {
+	st.Rounds += o.Rounds
+	st.Updates += o.Updates
+	st.Evaluations += o.Evaluations
+}
+
+// ComputeAll computes every AS's RIB, parallelizing across GOMAXPROCS
+// workers.
 func ComputeAll(t *topo.Topology) (map[int]RIB, Stats) {
+	return ComputeAllWorkers(t, 0)
+}
+
+// ComputeAllWorkers computes every AS's RIB with the given worker count
+// (<= 0 means GOMAXPROCS, 1 forces the serial path). The result is
+// identical for every worker count — the parallel/serial equivalence
+// tests depend on it.
+func ComputeAllWorkers(t *topo.Topology, workers int) (map[int]RIB, Stats) {
 	n := t.N()
-	ribs := make(map[int]RIB, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	prev := make([]RIB, n)
 	var st Stats
 	for a := 0; a < n; a++ {
-		ribs[a] = RIB{a: Route{Dest: a, LearnedFrom: SelfOrigin, LocalPref: 1 << 30}}
+		prev[a] = RIB{a: Route{Dest: a, LearnedFrom: SelfOrigin, LocalPref: 1 << 30}}
 		st.Updates++
 	}
+	next := make([]RIB, n)
+	perSrc := make([]Stats, n)
+	changedSrc := make([]bool, n)
 	for {
 		st.Rounds++
-		changed := false
-		// Jacobi: evaluate against the previous round's RIBs so the
-		// result is order-independent.
-		prev := make(map[int]RIB, n)
-		for a := 0; a < n; a++ {
-			prev[a] = ribs[a]
-		}
-		for a := 0; a < n; a++ {
-			next := make(RIB, len(prev[a]))
-			next[a] = prev[a][a]
-			for dest := 0; dest < n; dest++ {
-				if dest == a {
-					continue
-				}
-				var best Route
-				haveBest := false
-				for _, nbr := range t.Neighbors(a) {
-					nr, ok := prev[nbr][dest]
-					if !ok {
-						continue
-					}
-					relToNbr, _ := t.Rel(a, nbr)
-					// Export decision is taken by the *neighbor*: its
-					// relationship toward a is the inverse.
-					if !CanExport(nr, relToNbr.Invert()) {
-						continue
-					}
-					if nr.Contains(a) || nr.NextHop() == a {
-						continue // loop
-					}
-					st.Evaluations++
-					cand := Route{
-						Dest:        dest,
-						Path:        append([]int{nbr}, nr.Path...),
-						LocalPref:   t.LocalPref(a, nbr),
-						LearnedFrom: nbr,
-						LearnedRel:  relToNbr,
-					}
-					if !haveBest || Better(cand, best) {
-						best, haveBest = cand, true
-					}
-				}
-				if haveBest {
-					next[dest] = best
-					if old, ok := prev[a][dest]; !ok || !old.Equal(best) {
-						st.Updates++
-						changed = true
-					}
-				} else if _, had := prev[a][dest]; had {
-					st.Updates++
-					changed = true
-				}
+		if workers <= 1 {
+			for a := 0; a < n; a++ {
+				next[a], perSrc[a], changedSrc[a] = computeSource(t, prev, a)
 			}
-			ribs[a] = next
+		} else {
+			var wg sync.WaitGroup
+			var cursor chunkCursor
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						lo, hi, ok := cursor.next(n)
+						if !ok {
+							return
+						}
+						for a := lo; a < hi; a++ {
+							next[a], perSrc[a], changedSrc[a] = computeSource(t, prev, a)
+						}
+					}
+				}()
+			}
+			wg.Wait()
 		}
+		// Deterministic merge: fold per-source counters in source order
+		// (integer sums, so any order yields the same totals — the fixed
+		// order also keeps future non-commutative merges honest).
+		changed := false
+		for a := 0; a < n; a++ {
+			st.add(perSrc[a])
+			changed = changed || changedSrc[a]
+		}
+		prev, next = next, prev
 		if !changed {
 			break
 		}
 	}
+	ribs := make(map[int]RIB, n)
+	for a := 0; a < n; a++ {
+		ribs[a] = prev[a]
+	}
 	return ribs, st
+}
+
+// chunkCursor deals out index ranges to workers. Chunking bounds the
+// atomic traffic; which worker gets which chunk never affects results.
+type chunkCursor struct {
+	mu  sync.Mutex
+	off int
+}
+
+const sourceChunk = 4
+
+func (c *chunkCursor) next(n int) (lo, hi int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.off >= n {
+		return 0, 0, false
+	}
+	lo = c.off
+	hi = lo + sourceChunk
+	if hi > n {
+		hi = n
+	}
+	c.off = hi
+	return lo, hi, true
+}
+
+// computeSource runs one Jacobi step for source a against the previous
+// round's RIBs, returning a's next RIB, the work it performed, and
+// whether anything changed. It only reads prev and the topology, so
+// concurrent calls for distinct sources are race-free.
+func computeSource(t *topo.Topology, prev []RIB, a int) (RIB, Stats, bool) {
+	n := t.N()
+	var st Stats
+	changed := false
+	next := make(RIB, len(prev[a]))
+	next[a] = prev[a][a]
+	for dest := 0; dest < n; dest++ {
+		if dest == a {
+			continue
+		}
+		var best Route
+		haveBest := false
+		t.EachNeighbor(a, func(nbr int) {
+			nr, ok := prev[nbr][dest]
+			if !ok {
+				return
+			}
+			relToNbr, _ := t.Rel(a, nbr)
+			// Export decision is taken by the *neighbor*: its
+			// relationship toward a is the inverse.
+			if !CanExport(nr, relToNbr.Invert()) {
+				return
+			}
+			if nr.Contains(a) || nr.NextHop() == a {
+				return // loop
+			}
+			st.Evaluations++
+			cand := Route{
+				Dest:        dest,
+				Path:        append([]int{nbr}, nr.Path...),
+				LocalPref:   t.LocalPref(a, nbr),
+				LearnedFrom: nbr,
+				LearnedRel:  relToNbr,
+			}
+			if !haveBest || Better(cand, best) {
+				best, haveBest = cand, true
+			}
+		})
+		if haveBest {
+			next[dest] = best
+			if old, ok := prev[a][dest]; !ok || !old.Equal(best) {
+				st.Updates++
+				changed = true
+			}
+		} else if _, had := prev[a][dest]; had {
+			st.Updates++
+			changed = true
+		}
+	}
+	return next, st, changed
 }
 
 // FullReach reports whether every AS has a route to every destination —

@@ -1,0 +1,47 @@
+package bgp
+
+import (
+	"reflect"
+	"testing"
+
+	"sgxnet/internal/topo"
+)
+
+// The parallel route computation's contract: within one Jacobi round
+// every source reads the previous round's RIBs, so the per-source work
+// is order-independent and the worker fan-out must reproduce the serial
+// RIBs, convergence round count, and evaluation/update statistics
+// exactly.
+
+func TestComputeAllWorkersMatchesSerial(t *testing.T) {
+	for _, n := range []int{5, 12, 30} {
+		tp, err := topo.Random(topo.Config{N: n, Seed: 42, PrefJitter: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRIBs, wantStats := ComputeAllWorkers(tp, 1)
+		for _, workers := range []int{2, 8, n + 3} {
+			gotRIBs, gotStats := ComputeAllWorkers(tp, workers)
+			if gotStats != wantStats {
+				t.Errorf("n=%d workers=%d: stats diverge: %+v vs %+v", n, workers, gotStats, wantStats)
+			}
+			if !reflect.DeepEqual(gotRIBs, wantRIBs) {
+				t.Errorf("n=%d workers=%d: RIBs diverge from serial", n, workers)
+			}
+		}
+		// The default entry point must be the same computation.
+		defRIBs, defStats := ComputeAll(tp)
+		if defStats != wantStats || !reflect.DeepEqual(defRIBs, wantRIBs) {
+			t.Errorf("n=%d: ComputeAll diverges from explicit worker counts", n)
+		}
+	}
+}
+
+func TestComputeAllWorkersLineTopology(t *testing.T) {
+	tp := lineTopology(t, 9)
+	wantRIBs, wantStats := ComputeAllWorkers(tp, 1)
+	gotRIBs, gotStats := ComputeAllWorkers(tp, 4)
+	if gotStats != wantStats || !reflect.DeepEqual(gotRIBs, wantRIBs) {
+		t.Error("parallel line-topology computation diverges from serial")
+	}
+}

@@ -2,15 +2,54 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
+
+// meterStripes is the number of counter stripes per Meter (a power of
+// two). Concurrent scenario runs charge many meters from many
+// goroutines; striping keeps two writers from bouncing the same cache
+// line between cores, and padding keeps adjacent stripes — and adjacent
+// Meters embedded in larger structs — from false sharing.
+const meterStripes = 8
+
+// meterStripe is one padded counter pair. The two counters occupy 16
+// bytes; the padding rounds the stripe up to a 64-byte cache line.
+type meterStripe struct {
+	sgxU   atomic.Uint64
+	normal atomic.Uint64
+	_      [48]byte
+}
+
+// stripeSeq hands out round-robin stripe assignments to stripeHint's
+// per-P pool entries. The hint is pure placement: every stripe folds
+// into the same totals on read, so which stripe a goroutine lands on
+// never changes any observable tally.
+var stripeSeq atomic.Uint32
+
+var stripeHint = sync.Pool{New: func() any {
+	h := new(uint32)
+	*h = stripeSeq.Add(1)
+	return h
+}}
+
+// stripeIndex picks a stripe for the calling goroutine. sync.Pool is
+// per-P under the hood, so repeated charges from the same goroutine
+// land on the same stripe without any contended shared state.
+func stripeIndex() uint32 {
+	h := stripeHint.Get().(*uint32)
+	i := *h
+	stripeHint.Put(h)
+	return i & (meterStripes - 1)
+}
 
 // A Meter tallies the two quantities the paper's evaluation is built on:
 // SGX usermode instructions and normal instructions. Meters are safe for
 // concurrent use; every enclave owns one, and hosts aggregate them.
+// Counters are sharded across padded stripes and folded on read, so
+// parallel scenario runs never contend on a single cache line.
 type Meter struct {
-	sgxU   atomic.Uint64
-	normal atomic.Uint64
+	stripes [meterStripes]meterStripe
 }
 
 // NewMeter returns a zeroed Meter. The zero value is also ready to use.
@@ -21,7 +60,7 @@ func (m *Meter) ChargeSGX(n uint64) {
 	if m == nil {
 		return
 	}
-	m.sgxU.Add(n)
+	m.stripes[stripeIndex()].sgxU.Add(n)
 }
 
 // ChargeNormal records n normal instructions.
@@ -29,7 +68,7 @@ func (m *Meter) ChargeNormal(n uint64) {
 	if m == nil {
 		return
 	}
-	m.normal.Add(n)
+	m.stripes[stripeIndex()].normal.Add(n)
 }
 
 // SGX returns the SGX usermode instruction count so far.
@@ -37,7 +76,11 @@ func (m *Meter) SGX() uint64 {
 	if m == nil {
 		return 0
 	}
-	return m.sgxU.Load()
+	var sum uint64
+	for i := range m.stripes {
+		sum += m.stripes[i].sgxU.Load()
+	}
+	return sum
 }
 
 // Normal returns the normal instruction count so far.
@@ -45,19 +88,23 @@ func (m *Meter) Normal() uint64 {
 	if m == nil {
 		return 0
 	}
-	return m.normal.Load()
+	var sum uint64
+	for i := range m.stripes {
+		sum += m.stripes[i].normal.Load()
+	}
+	return sum
 }
 
 // Cycles returns the estimated CPU cycles for the current tallies using the
 // paper's conversion formula.
 func (m *Meter) Cycles() uint64 { return CyclesOf(m.SGX(), m.Normal()) }
 
-// Snapshot captures the current tallies.
+// Snapshot captures the current tallies, folding all stripes.
 func (m *Meter) Snapshot() Tally {
 	if m == nil {
 		return Tally{}
 	}
-	return Tally{SGXU: m.sgxU.Load(), Normal: m.normal.Load()}
+	return Tally{SGXU: m.SGX(), Normal: m.Normal()}
 }
 
 // Reset zeroes both counters.
@@ -65,8 +112,10 @@ func (m *Meter) Reset() {
 	if m == nil {
 		return
 	}
-	m.sgxU.Store(0)
-	m.normal.Store(0)
+	for i := range m.stripes {
+		m.stripes[i].sgxU.Store(0)
+		m.stripes[i].normal.Store(0)
+	}
 }
 
 // AddTally folds a tally into the meter (used when aggregating per-enclave
@@ -75,8 +124,9 @@ func (m *Meter) AddTally(t Tally) {
 	if m == nil {
 		return
 	}
-	m.sgxU.Add(t.SGXU)
-	m.normal.Add(t.Normal)
+	i := stripeIndex()
+	m.stripes[i].sgxU.Add(t.SGXU)
+	m.stripes[i].normal.Add(t.Normal)
 }
 
 // A Tally is an immutable snapshot of a Meter.

@@ -13,6 +13,51 @@ import (
 
 // Ablation experiments for the design choices DESIGN.md calls out.
 
+// AblationSuite bundles the four deterministic ablation experiments.
+type AblationSuite struct {
+	Batch []BatchSweepPoint
+	SMPC  *SMPCComparison
+	DHT   []DHTSweepPoint
+	Mbox  *MboxApproachComparison
+}
+
+// Ablations runs the four deterministic ablations as independent
+// scenario runs on the pool. Each builds its own network and meters, so
+// the merged suite is identical to running them back to back.
+func (r *Runner) Ablations() (*AblationSuite, error) {
+	s := &AblationSuite{}
+	_, err := mapOrdered(r, 4, func(i int) (struct{}, error) {
+		var err error
+		switch i {
+		case 0:
+			s.Batch, err = AblationBatchSweep(nil)
+		case 1:
+			s.SMPC, err = AblationSMPC()
+		case 2:
+			s.DHT, err = AblationDHTLookups(nil)
+		case 3:
+			s.Mbox, err = AblationMiddleboxApproaches()
+		}
+		return struct{}{}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RenderAblations prints the whole suite in its canonical order.
+func RenderAblations(w io.Writer, s *AblationSuite) {
+	RenderBatchSweep(w, s.Batch)
+	fmt.Fprintln(w)
+	RenderSMPC(w, s.SMPC)
+	fmt.Fprintln(w)
+	RenderDHTSweep(w, s.DHT)
+	fmt.Fprintln(w)
+	RenderMboxApproaches(w, s.Mbox)
+	fmt.Fprintln(w)
+}
+
 // BatchSweepPoint is one batch size of the I/O amortization ablation.
 type BatchSweepPoint struct {
 	Batch         int

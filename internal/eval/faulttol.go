@@ -64,12 +64,22 @@ func faultTolSchedule(seed int64, drop float64) *netsim.FaultSchedule {
 }
 
 // AblationFaultTolerance sweeps drop intensity against attestation
-// success rate and cycle overhead. A nil intensities slice uses the
-// default sweep (which starts at 0, the overhead baseline); trials <= 0
-// defaults to 4 runs per point. Schedules are seeded deterministically
-// per (point, trial), so the fault draws replay; only the wall-clock
-// timeout behavior is environment-dependent.
+// success rate and cycle overhead on the default (fully parallel)
+// runner. A nil intensities slice uses the default sweep (which starts
+// at 0, the overhead baseline); trials <= 0 defaults to 4 runs per
+// point. Schedules are seeded deterministically per (point, trial), so
+// the fault draws replay; only the wall-clock timeout behavior is
+// environment-dependent.
 func AblationFaultTolerance(intensities []float64, trials int) ([]FaultTolerancePoint, error) {
+	return defaultRunner().FaultTolerance(intensities, trials)
+}
+
+// FaultTolerance runs the fault-tolerance sweep with each intensity as
+// an independent scenario on the pool. Every point owns a private rig
+// and network, and its schedules are seeded by (point, trial), so the
+// fault draws are unchanged by fan-out; the baseline-relative overhead
+// is computed after the in-order merge.
+func (r *Runner) FaultTolerance(intensities []float64, trials int) ([]FaultTolerancePoint, error) {
 	if intensities == nil {
 		intensities = []float64{0, 0.02, 0.05, 0.10, 0.20}
 	}
@@ -77,72 +87,78 @@ func AblationFaultTolerance(intensities []float64, trials int) ([]FaultTolerance
 		trials = 4
 	}
 	pol := faultTolPolicy()
-	var pts []FaultTolerancePoint
-	var baseline uint64
-	for i, drop := range intensities {
-		rig, err := newAttestRig()
-		if err != nil {
-			return nil, err
+	pts, err := mapOrdered(r, len(intensities), func(i int) (FaultTolerancePoint, error) {
+		return faultTolPoint(i, intensities[i], trials, pol)
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseline := pts[0].AvgCycles
+	for i := range pts {
+		if baseline > 0 && pts[i].AvgCycles > 0 {
+			pts[i].Overhead = float64(pts[i].AvgCycles) / float64(baseline)
 		}
-		rig.tShim.SetRecvTimeout(pol.RecvTimeout)
-		l, err := rig.hostT.Listen("app")
-		if err != nil {
-			return nil, err
-		}
-		go l.Serve(func(c *netsim.Conn) {
-			defer c.Close()
-			if _, err := attest.Respond(rig.target, rig.tShim, rig.hostT, c); err != nil {
-				return
-			}
-			// Linger: the challenger closes once it is done with the
-			// session; closing first would race delayed deliveries.
-			for {
-				if _, err := c.Recv(); err != nil {
-					return
-				}
-			}
-		})
-
-		pt := FaultTolerancePoint{Intensity: drop, Trials: trials}
-		var cycles uint64
-		for trial := 0; trial < trials; trial++ {
-			fs := faultTolSchedule(int64(7000+100*i+trial), drop)
-			rig.net.SetFaults(fs)
-			rig.challenger.Meter().Reset()
-			dial := func() (*netsim.Conn, error) { return rig.hostC.Dial("target-host", "app") }
-			conn, cid, _, retries, err := attest.ChallengeRetry(
-				rig.challenger, rig.cShim, rig.cState, dial, true, pol)
-			pt.Retries += retries
-			if err == nil {
-				pt.Successes++
-				cycles += rig.challenger.Meter().Snapshot().Cycles()
-				rig.cState.Drop(cid)
-				conn.Close()
-			}
-			rig.net.SetFaults(nil)
-			st := fs.Stats()
-			pt.Stats.Dropped += st.Dropped
-			pt.Stats.Duplicated += st.Duplicated
-			pt.Stats.Corrupted += st.Corrupted
-			pt.Stats.Reordered += st.Reordered
-			pt.Stats.Delayed += st.Delayed
-			pt.Stats.Partitioned += st.Partitioned
-			pt.Stats.Crashes += st.Crashes
-			pt.Stats.Restarts += st.Restarts
-		}
-		l.Close()
-		if pt.Successes > 0 {
-			pt.AvgCycles = cycles / uint64(pt.Successes)
-		}
-		if i == 0 {
-			baseline = pt.AvgCycles
-		}
-		if baseline > 0 && pt.AvgCycles > 0 {
-			pt.Overhead = float64(pt.AvgCycles) / float64(baseline)
-		}
-		pts = append(pts, pt)
 	}
 	return pts, nil
+}
+
+// faultTolPoint measures one intensity step on a private rig.
+func faultTolPoint(i int, drop float64, trials int, pol attest.RetryPolicy) (FaultTolerancePoint, error) {
+	rig, err := newAttestRig()
+	if err != nil {
+		return FaultTolerancePoint{}, err
+	}
+	rig.tShim.SetRecvTimeout(pol.RecvTimeout)
+	l, err := rig.hostT.Listen("app")
+	if err != nil {
+		return FaultTolerancePoint{}, err
+	}
+	defer l.Close()
+	go l.Serve(func(c *netsim.Conn) {
+		defer c.Close()
+		if _, err := attest.Respond(rig.target, rig.tShim, rig.hostT, c); err != nil {
+			return
+		}
+		// Linger: the challenger closes once it is done with the
+		// session; closing first would race delayed deliveries.
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	})
+
+	pt := FaultTolerancePoint{Intensity: drop, Trials: trials}
+	var cycles uint64
+	for trial := 0; trial < trials; trial++ {
+		fs := faultTolSchedule(int64(7000+100*i+trial), drop)
+		rig.net.SetFaults(fs)
+		rig.challenger.Meter().Reset()
+		dial := func() (*netsim.Conn, error) { return rig.hostC.Dial("target-host", "app") }
+		conn, cid, _, retries, err := attest.ChallengeRetry(
+			rig.challenger, rig.cShim, rig.cState, dial, true, pol)
+		pt.Retries += retries
+		if err == nil {
+			pt.Successes++
+			cycles += rig.challenger.Meter().Snapshot().Cycles()
+			rig.cState.Drop(cid)
+			conn.Close()
+		}
+		rig.net.SetFaults(nil)
+		st := fs.Stats()
+		pt.Stats.Dropped += st.Dropped
+		pt.Stats.Duplicated += st.Duplicated
+		pt.Stats.Corrupted += st.Corrupted
+		pt.Stats.Reordered += st.Reordered
+		pt.Stats.Delayed += st.Delayed
+		pt.Stats.Partitioned += st.Partitioned
+		pt.Stats.Crashes += st.Crashes
+		pt.Stats.Restarts += st.Restarts
+	}
+	if pt.Successes > 0 {
+		pt.AvgCycles = cycles / uint64(pt.Successes)
+	}
+	return pt, nil
 }
 
 // RenderFaultTolerance prints the sweep.

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/sdnctl"
@@ -24,20 +25,27 @@ type Table4Result struct {
 
 // Table4 runs the 30-AS workload through both deployments.
 func Table4() (*Table4Result, error) {
-	return Table4At(30)
+	return defaultRunner().Table4At(30)
 }
 
-// Table4At runs the workload at a chosen AS count.
+// Table4At runs the workload at a chosen AS count, serially.
 func Table4At(n int) (*Table4Result, error) {
+	return NewRunner(1).Table4At(n)
+}
+
+// Table4At runs the workload at a chosen AS count, with the native and
+// SGX deployments as parallel legs when the pool allows. The two legs
+// build disjoint networks and meters, so their tallies are identical to
+// a serial run.
+func (r *Runner) Table4At(n int) (*Table4Result, error) {
 	tp, err := topo.Random(topo.Config{N: n, Seed: CanonicalSeed, PrefJitter: true})
 	if err != nil {
 		return nil, err
 	}
-	native, err := sdnctl.RunNative(tp)
-	if err != nil {
-		return nil, err
-	}
-	sgx, err := sdnctl.RunSGX(tp)
+	native, sgx, err := pair(r,
+		func() (*sdnctl.RunReport, error) { return sdnctl.RunNative(tp) },
+		func() (*sdnctl.RunReport, error) { return sdnctl.RunSGX(tp) },
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -72,25 +80,29 @@ type Figure3Point struct {
 	SGXCycles    uint64
 }
 
-// Figure3 sweeps the AS count and reports the inter-domain controller's
-// cycle consumption for both deployments.
+// Figure3 sweeps the AS count on the default (fully parallel) runner.
 func Figure3(ns []int) ([]Figure3Point, error) {
+	return defaultRunner().Figure3(ns)
+}
+
+// Figure3 sweeps the AS count and reports the inter-domain controller's
+// cycle consumption for both deployments. Points fan out across the
+// pool and merge back in input order.
+func (r *Runner) Figure3(ns []int) ([]Figure3Point, error) {
 	if len(ns) == 0 {
 		ns = []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
 	}
-	var pts []Figure3Point
-	for _, n := range ns {
-		r, err := Table4At(n)
+	return mapOrdered(r, len(ns), func(i int) (Figure3Point, error) {
+		res, err := r.Table4At(ns[i])
 		if err != nil {
-			return nil, err
+			return Figure3Point{}, err
 		}
-		pts = append(pts, Figure3Point{
-			N:            n,
-			NativeCycles: r.Native.InterDomain.Cycles(),
-			SGXCycles:    r.SGX.InterDomain.Cycles(),
-		})
-	}
-	return pts, nil
+		return Figure3Point{
+			N:            ns[i],
+			NativeCycles: res.Native.InterDomain.Cycles(),
+			SGXCycles:    res.SGX.InterDomain.Cycles(),
+		}, nil
+	})
 }
 
 // RenderFigure3 prints the series with a crude text plot.
@@ -113,12 +125,7 @@ func RenderFigure3(w io.Writer, pts []Figure3Point) {
 	fmt.Fprintln(w, "\nSGX cycles (▇) vs native (░):")
 	for _, p := range pts {
 		bar := func(v uint64, ch string) string {
-			width := int(v * 50 / maxC)
-			out := ""
-			for i := 0; i < width; i++ {
-				out += ch
-			}
-			return out
+			return strings.Repeat(ch, int(v*50/maxC))
 		}
 		fmt.Fprintf(w, "%3d ░%s\n    ▇%s\n", p.N, bar(p.NativeCycles, "░"), bar(p.SGXCycles, "▇"))
 	}

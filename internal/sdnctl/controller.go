@@ -3,6 +3,7 @@ package sdnctl
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -168,8 +169,16 @@ func (st *ControllerState) dispatch(m *core.Meter, cid uint32, req *Request) *Re
 		}
 		rib := st.ribs[req.From]
 		msg := &RoutesMsg{ASN: req.From}
-		for _, r := range rib {
-			msg.Routes = append(msg.Routes, r)
+		// Sorted destination order: map iteration would put the wire
+		// bytes — and every AS's installed route order — at the mercy of
+		// Go's map hashing. Same routes, same count, deterministic order.
+		dests := make([]int, 0, len(rib))
+		for d := range rib {
+			dests = append(dests, d)
+		}
+		sort.Ints(dests)
+		for _, d := range dests {
+			msg.Routes = append(msg.Routes, rib[d])
 		}
 		// Degraded mode: the computation is still valid, but not every AS
 		// holds a live attested channel right now (crash, partition). The

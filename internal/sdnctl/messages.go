@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 
 	"sgxnet/internal/bgp"
 	"sgxnet/internal/topo"
@@ -198,6 +199,20 @@ func PoliciesFromTopology(t *topo.Topology) map[int]*PolicyMsg {
 	return out
 }
 
+// sortedDests returns a RIB's destinations in ascending order. The
+// predicate scans below examine routes until a verdict — and charge
+// CostPredicateEval per route examined — so the scan order must not
+// depend on map iteration, or a failing predicate would charge a
+// different instruction count every run.
+func sortedDests(r bgp.RIB) []int {
+	out := make([]int, 0, len(r))
+	for d := range r {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // EvaluatePredicate checks a predicate against the computed routes and
 // the uploaded policies. Returns the verdict and the number of routes
 // examined (for cost accounting).
@@ -216,7 +231,8 @@ func EvaluatePredicate(p Predicate, t *topo.Topology, ribs map[int]bgp.RIB) (boo
 			return false, 0
 		}
 		prefViaA := t.LocalPref(p.ASb, p.ASa)
-		for dest, rb := range ribs[p.ASb] {
+		for _, dest := range sortedDests(ribs[p.ASb]) {
+			rb := ribs[p.ASb][dest]
 			if dest == p.ASb {
 				continue
 			}
@@ -238,9 +254,9 @@ func EvaluatePredicate(p Predicate, t *topo.Topology, ribs map[int]bgp.RIB) (boo
 		}
 		return true, examined
 	case PredAvoids:
-		for _, rb := range ribs[p.ASb] {
+		for _, dest := range sortedDests(ribs[p.ASb]) {
 			examined++
-			if rb.Contains(p.Arg) {
+			if ribs[p.ASb][dest].Contains(p.Arg) {
 				return false, examined
 			}
 		}
@@ -250,7 +266,8 @@ func EvaluatePredicate(p Predicate, t *topo.Topology, ribs map[int]bgp.RIB) (boo
 		// either B's route for that destination goes via A, or B holds a
 		// route at least as short as the one A would announce — a
 		// conservative check that never reveals A's actual paths.
-		for dest, ra := range ribs[p.ASa] {
+		for _, dest := range sortedDests(ribs[p.ASa]) {
+			ra := ribs[p.ASa][dest]
 			if ra.LearnedRel != topo.RelCustomer && !ra.IsSelf() {
 				continue
 			}

@@ -2,6 +2,7 @@ package sdnctl
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"sgxnet/internal/bgp"
 	"sgxnet/internal/netsim"
@@ -18,6 +19,12 @@ type NativeController struct {
 	State    *ControllerState
 	listener *netsim.Listener
 	wg       sync.WaitGroup
+
+	// connIDs allocates per-connection session IDs. Per-controller (not
+	// package-level) so concurrent independent deployments share no
+	// state whatsoever — the ID sequence a run observes depends only on
+	// that run.
+	connIDs atomic.Uint32
 }
 
 // LaunchNativeController starts the plain controller service.
@@ -35,20 +42,8 @@ func LaunchNativeController(host *netsim.SimHost, n int) (*NativeController, err
 	return c, nil
 }
 
-var nativeConnIDs struct {
-	sync.Mutex
-	next uint32
-}
-
-func nextNativeConnID() uint32 {
-	nativeConnIDs.Lock()
-	defer nativeConnIDs.Unlock()
-	nativeConnIDs.next++
-	return nativeConnIDs.next
-}
-
 func (c *NativeController) serveConn(conn *netsim.Conn) {
-	cid := nextNativeConnID()
+	cid := c.connIDs.Add(1)
 	m := c.Host.Platform().HostMeter
 	for {
 		raw, err := conn.Recv()

@@ -139,15 +139,31 @@ const Overhead = 16 + 32 // IV + HMAC tag
 
 // Seal encrypts and authenticates msg.
 func (ch *Channel) Seal(m *core.Meter, msg []byte) ([]byte, error) {
+	return ch.SealAppendParts(m, nil, msg)
+}
+
+// SealAppendParts seals the concatenation of parts, appending the wire
+// form (IV‖ciphertext‖tag) to dst and returning the extended slice.
+// Passing a reused buffer as dst makes sealing allocation-free on the
+// hot paths (onion layering, record encryption); parts must not alias
+// dst. The keystream runs continuously across parts, so the result is
+// identical to sealing the concatenated message.
+func (ch *Channel) SealAppendParts(m *core.Meter, dst []byte, parts ...[]byte) ([]byte, error) {
 	var iv [16]byte
 	if _, err := rand.Read(iv[:]); err != nil {
 		return nil, err
 	}
-	out := make([]byte, 16+len(msg), 16+len(msg)+32)
-	copy(out[:16], iv[:])
-	ch.enc.XORKeyStreamCTR(m, iv, out[16:], msg)
-	tag := MAC(m, ch.macKey[:], out)
-	return append(out, tag[:]...), nil
+	start := len(dst)
+	dst = append(dst, iv[:]...)
+	ctr := cipher.NewCTR(ch.enc.block, iv[:])
+	for _, p := range parts {
+		off := len(dst)
+		dst = append(dst, p...)
+		ctr.XORKeyStream(dst[off:], p)
+		chargeBytes(m, len(p))
+	}
+	tag := MAC(m, ch.macKey[:], dst[start:])
+	return append(dst, tag[:]...), nil
 }
 
 // ErrChannelAuth reports a failed channel authentication check.
@@ -155,6 +171,17 @@ var ErrChannelAuth = errors.New("sgxcrypto: channel message authentication faile
 
 // Open verifies and decrypts a sealed message.
 func (ch *Channel) Open(m *core.Meter, sealed []byte) ([]byte, error) {
+	out, err := ch.OpenAppend(m, nil, sealed)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// OpenAppend verifies sealed and appends the plaintext to dst,
+// returning the extended slice. sealed must not alias dst. The reused
+// dst buffer makes layer-by-layer unwrapping allocation-free.
+func (ch *Channel) OpenAppend(m *core.Meter, dst, sealed []byte) ([]byte, error) {
 	if len(sealed) < Overhead {
 		return nil, ErrChannelAuth
 	}
@@ -165,7 +192,8 @@ func (ch *Channel) Open(m *core.Meter, sealed []byte) ([]byte, error) {
 	}
 	var iv [16]byte
 	copy(iv[:], body[:16])
-	out := make([]byte, len(body)-16)
-	ch.enc.XORKeyStreamCTR(m, iv, out, body[16:])
-	return out, nil
+	off := len(dst)
+	dst = append(dst, body[16:]...)
+	ch.enc.XORKeyStreamCTR(m, iv, dst[off:], body[16:])
+	return dst, nil
 }

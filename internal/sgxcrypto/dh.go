@@ -50,20 +50,32 @@ func StandardGroup() *DHParams {
 // the safe-prime-search cost the paper measured (CostDHParamGen for
 // 1024-bit parameters, scaled cubically for other sizes). The emulation
 // uses a probabilistic prime search — the charged instruction count, not
-// the wall clock, is the measured quantity.
+// the wall clock, is the measured quantity — so system-entropy calls
+// (rnd == nil) may satisfy the search from the process-wide parameter
+// cache (paramcache.go): the full cost is charged on every call, only
+// the redundant wall-clock search is skipped. A caller-supplied rnd
+// bypasses the cache and always consumes the reader.
 func GenerateParams(m *core.Meter, bits int, rnd io.Reader) (*DHParams, error) {
 	if bits < 64 {
 		return nil, fmt.Errorf("sgxcrypto: DH modulus %d bits too small", bits)
 	}
-	if rnd == nil {
+	m.ChargeNormal(scaleCost(core.CostDHParamGen, bits, 1024, 3))
+	useCache := rnd == nil
+	if useCache {
+		if p, ok := cachedParams(bits); ok {
+			return p, nil
+		}
 		rnd = rand.Reader
 	}
-	m.ChargeNormal(scaleCost(core.CostDHParamGen, bits, 1024, 3))
 	p, err := rand.Prime(rnd, bits)
 	if err != nil {
 		return nil, fmt.Errorf("sgxcrypto: DH prime: %w", err)
 	}
-	return &DHParams{P: p, G: big.NewInt(2)}, nil
+	params := &DHParams{P: p, G: big.NewInt(2)}
+	if useCache {
+		storeParams(bits, params)
+	}
+	return params, nil
 }
 
 // scaleCost scales a cost calibrated at refBits to bits, with the given

@@ -1,0 +1,80 @@
+package sgxcrypto
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgxnet/internal/core"
+)
+
+// The cache's invariant: wall clock is the only thing it may change.
+// Every logical generation still charges CostDHParamGen, so Table 1's
+// tallies are bit-identical with and without a warm cache.
+
+func TestParamCacheChargesEveryGeneration(t *testing.T) {
+	ResetParamCache()
+	defer ResetParamCache()
+	m := core.NewMeter()
+	p1, err := GenerateParams(m, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.Snapshot().Normal
+	if first == 0 {
+		t.Fatal("generation charged nothing")
+	}
+	p2, err := GenerateParams(m, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().Normal; got != 2*first {
+		t.Errorf("cached generation charged %d, want %d (same as a fresh one)", got-first, first)
+	}
+	if p1.P.Cmp(p2.P) != 0 {
+		t.Error("second system-entropy generation did not reuse the cached prime")
+	}
+	if p1.P == p2.P {
+		t.Error("cache handed out an aliased big.Int; callers could corrupt it")
+	}
+}
+
+func TestParamCacheCopiesAreIsolated(t *testing.T) {
+	ResetParamCache()
+	defer ResetParamCache()
+	m := core.NewMeter()
+	p1, err := GenerateParams(m, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p1.P.String()
+	p1.P.SetInt64(7) // a hostile caller scribbling on its copy
+	p2, err := GenerateParams(m, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.P.String() != want {
+		t.Error("mutating a returned copy corrupted the cache")
+	}
+}
+
+// TestParamCacheBypassedForCallerReaders: a caller-supplied entropy
+// source is a fixture whose byte consumption is contractual, so it must
+// hit the real prime search every time, never the cache. (Prime values
+// themselves cannot be compared across calls — crypto/rand.Prime
+// deliberately consumes reader bytes nondeterministically.)
+func TestParamCacheBypassedForCallerReaders(t *testing.T) {
+	ResetParamCache()
+	defer ResetParamCache()
+	m := core.NewMeter()
+	cached, err := GenerateParams(m, 512, nil) // warm the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromReader, err := GenerateParams(m, 512, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromReader.P.Cmp(cached.P) == 0 {
+		t.Error("caller-supplied reader was served from the cache")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
@@ -103,21 +104,32 @@ const recordHeader = 13
 // sequence number is bound into the IV and the MAC, preventing replay
 // and reordering.
 func (c *Codec) Seal(m *core.Meter, dir Direction, seq uint64, payload []byte) ([]byte, error) {
+	return c.sealAppend(m, nil, dir, seq, payload)
+}
+
+// sealAppend appends the sealed record to dst — the allocation-free
+// path for senders that reuse an outbound buffer. payload must not
+// alias dst.
+func (c *Codec) sealAppend(m *core.Meter, dst []byte, dir Direction, seq uint64, payload []byte) ([]byte, error) {
 	encKey, macKey := c.dirKeys(dir)
 	cipher, err := sgxcrypto.NewAES(m, encKey)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, recordHeader+len(payload), recordHeader+len(payload)+32)
-	out[0] = byte(dir)
-	binary.BigEndian.PutUint64(out[1:9], seq)
-	binary.BigEndian.PutUint32(out[9:13], uint32(len(payload)))
+	start := len(dst)
+	var hdr [recordHeader]byte
+	hdr[0] = byte(dir)
+	binary.BigEndian.PutUint64(hdr[1:9], seq)
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
 	var iv [16]byte
 	iv[0] = byte(dir)
 	binary.BigEndian.PutUint64(iv[8:], seq)
-	cipher.XORKeyStreamCTR(m, iv, out[recordHeader:], payload)
-	tag := sgxcrypto.MAC(m, macKey, out)
-	return append(out, tag[:]...), nil
+	off := len(dst)
+	dst = append(dst, payload...)
+	cipher.XORKeyStreamCTR(m, iv, dst[off:], payload)
+	tag := sgxcrypto.MAC(m, macKey, dst[start:])
+	return append(dst, tag[:]...), nil
 }
 
 // Open verifies and decrypts a record, returning the payload. The caller
@@ -368,18 +380,31 @@ func label(client bool) string {
 // attested middlebox.
 func (s *Session) ExportKeys() Keys { return s.codec.keys }
 
+// sendBufs pools outbound record buffers: netsim copies every Send, so
+// the sealed record's lifetime ends when Send returns and the buffer
+// can be reused by the next record on any session.
+var sendBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
 // Send transmits one application record.
 func (s *Session) Send(payload []byte) error {
 	dir := ServerToClient
 	if s.isClient {
 		dir = ClientToServer
 	}
-	rec, err := s.codec.Seal(s.meter, dir, s.sendSeq, payload)
+	bufp := sendBufs.Get().(*[]byte)
+	rec, err := s.codec.sealAppend(s.meter, (*bufp)[:0], dir, s.sendSeq, payload)
 	if err != nil {
+		sendBufs.Put(bufp)
 		return err
 	}
 	s.sendSeq++
-	return s.conn.Send(rec)
+	err = s.conn.Send(rec)
+	*bufp = rec[:0]
+	sendBufs.Put(bufp)
+	return err
 }
 
 // Recv receives and opens one application record.

@@ -83,9 +83,19 @@ func (t *Topology) AddLink(a, b int, rel Relationship) error {
 	}
 	t.rel[[2]int{a, b}] = rel
 	t.rel[[2]int{b, a}] = rel.Invert()
-	t.neighbors[a] = append(t.neighbors[a], b)
-	t.neighbors[b] = append(t.neighbors[b], a)
+	t.neighbors[a] = insertSorted(t.neighbors[a], b)
+	t.neighbors[b] = insertSorted(t.neighbors[b], a)
 	return nil
+}
+
+// insertSorted inserts v into the ascending slice s. Keeping adjacency
+// lists sorted at construction lets the read paths skip per-call sorts.
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
 }
 
 // Rel returns a's relationship toward neighbor b.
@@ -96,9 +106,16 @@ func (t *Topology) Rel(a, b int) (Relationship, bool) {
 
 // Neighbors returns a's neighbors in ascending order.
 func (t *Topology) Neighbors(a int) []int {
-	out := append([]int(nil), t.neighbors[a]...)
-	sort.Ints(out)
-	return out
+	return append([]int(nil), t.neighbors[a]...)
+}
+
+// EachNeighbor calls f for each of a's neighbors in ascending order
+// without allocating — the hot-loop alternative to Neighbors. Safe for
+// concurrent readers once construction is complete.
+func (t *Topology) EachNeighbor(a int, f func(nbr int)) {
+	for _, nbr := range t.neighbors[a] {
+		f(nbr)
+	}
 }
 
 // Links returns the number of undirected links.

@@ -3,6 +3,7 @@ package tor
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/sgxcrypto"
@@ -25,24 +26,49 @@ const (
 // malformed marker).
 var ErrOnion = errors.New("tor: onion layer failure")
 
+// onionBufs pools the intermediate layer buffers of WrapForward and
+// UnwrapBackward. A three-hop exchange touches four intermediate
+// buffers per direction; with CellSize-bounded payloads they stabilize
+// at cell size and layering becomes allocation-free except for the
+// returned slice (which escapes to the caller and must stay fresh).
+var onionBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, CellSize)
+	return &b
+}}
+
+var fwdMarker = [1]byte{markerForward}
+
 // WrapForward builds the forward onion for a relay payload addressed to
 // the last hop of hops (client-side).
 func WrapForward(m *core.Meter, hops []*sgxcrypto.Channel, relay []byte) ([]byte, error) {
 	if len(hops) == 0 {
 		return nil, fmt.Errorf("%w: no hops", ErrOnion)
 	}
-	payload := append([]byte{markerDeliver}, relay...)
+	// cur holds the current plaintext-to-seal; spare receives each
+	// intermediate seal. Both come from the pool; the outermost seal
+	// (hops[0]) allocates fresh because it escapes.
+	curp, sparep := onionBufs.Get().(*[]byte), onionBufs.Get().(*[]byte)
+	defer func() { onionBufs.Put(curp); onionBufs.Put(sparep) }()
+	cur, spare := *curp, *sparep
+	defer func() { *curp, *sparep = cur[:0], spare[:0] }()
+
+	cur = append(cur[:0], markerDeliver)
+	cur = append(cur, relay...)
 	for i := len(hops) - 1; i >= 0; i-- {
+		var marker []byte
 		if i < len(hops)-1 {
-			payload = append([]byte{markerForward}, payload...)
+			marker = fwdMarker[:]
 		}
-		sealed, err := hops[i].Seal(m, payload)
+		if i == 0 {
+			return hops[0].SealAppendParts(m, nil, marker, cur)
+		}
+		sealed, err := hops[i].SealAppendParts(m, spare[:0], marker, cur)
 		if err != nil {
 			return nil, err
 		}
-		payload = sealed
+		cur, spare = sealed, cur
 	}
-	return payload, nil
+	return nil, ErrOnion // unreachable: the i == 0 iteration returns
 }
 
 // UnwrapBackward strips depth backward layers in hop order (client-side).
@@ -50,14 +76,30 @@ func UnwrapBackward(m *core.Meter, hops []*sgxcrypto.Channel, depth int, payload
 	if depth > len(hops) {
 		return nil, fmt.Errorf("%w: depth %d exceeds circuit length", ErrOnion, depth)
 	}
-	for i := 0; i < depth; i++ {
-		pt, err := hops[i].Open(m, payload)
+	if depth == 0 {
+		return payload, nil
+	}
+	// Alternate between two pooled buffers: OpenAppend's destination
+	// must never alias the sealed input it reads.
+	curp, sparep := onionBufs.Get().(*[]byte), onionBufs.Get().(*[]byte)
+	defer func() { onionBufs.Put(curp); onionBufs.Put(sparep) }()
+	cur, spare := *curp, *sparep
+	defer func() { *curp, *sparep = cur[:0], spare[:0] }()
+
+	for i := 0; i < depth-1; i++ {
+		pt, err := hops[i].OpenAppend(m, spare[:0], payload)
 		if err != nil {
 			return nil, fmt.Errorf("%w: layer %d: %v", ErrOnion, i, err)
 		}
+		cur, spare = pt, cur
 		payload = pt
 	}
-	return payload, nil
+	// The final layer escapes to the caller: open into a fresh slice.
+	pt, err := hops[depth-1].Open(m, payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: layer %d: %v", ErrOnion, depth-1, err)
+	}
+	return pt, nil
 }
 
 // peelForward strips one forward layer at an OR and classifies it.
