@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands directly.
 
-.PHONY: build test race bench bench-smoke tables
+.PHONY: build test race bench bench-smoke tables trace
 
 build:
 	go build ./...
@@ -23,3 +23,10 @@ bench-smoke:
 
 tables:
 	go run ./cmd/sgxnet-tables
+
+# trace records a deterministic trace of the full deterministic run and
+# validates it with the analyzer: well-formed, and named spans must
+# explain >= 95% of the reported run totals.
+trace:
+	go run ./cmd/sgxnet-tables -trace out.trace > /dev/null
+	go run ./cmd/sgxnet-trace -check -min-coverage 0.95 out.trace

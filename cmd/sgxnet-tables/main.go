@@ -3,33 +3,43 @@
 //
 // Usage:
 //
-//	sgxnet-tables              # everything
-//	sgxnet-tables -table 1     # one table (1–4)
-//	sgxnet-tables -fig 3       # Figure 3 sweep
-//	sgxnet-tables -ablations   # ablation experiments only
-//	sgxnet-tables -faults      # fault-tolerance sweep (wall-clock sensitive)
-//	sgxnet-tables -workers 8   # evaluation-engine parallelism (0 = GOMAXPROCS)
+//	sgxnet-tables                  # everything
+//	sgxnet-tables -table 1         # one table (1–4)
+//	sgxnet-tables -fig 3           # Figure 3 sweep
+//	sgxnet-tables -ablations       # ablation experiments only
+//	sgxnet-tables -faults          # fault-tolerance sweep (wall-clock sensitive)
+//	sgxnet-tables -workers 8       # evaluation-engine parallelism (0 = GOMAXPROCS)
+//	sgxnet-tables -trace out.trace # also record a deterministic trace (JSONL)
+//	sgxnet-tables -trace out.json -trace-format chrome  # Perfetto-viewable
+//	sgxnet-tables -debug-addr :6060                     # pprof/expvar server
 package main
 
 import (
 	"bytes"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
+	"sgxnet/internal/core"
 	"sgxnet/internal/eval"
+	"sgxnet/internal/obs"
 )
 
 // options selects which sections emit produces.
 type options struct {
-	table     int
-	fig       int
-	ablations bool
-	faults    bool
-	csv       bool
-	workers   int // evaluation-engine parallelism; 0 = GOMAXPROCS
+	table       int
+	fig         int
+	ablations   bool
+	faults      bool
+	csv         bool
+	workers     int    // evaluation-engine parallelism; 0 = GOMAXPROCS
+	trace       string // trace output path; "" disables tracing
+	traceFormat string // "jsonl" (default) or "chrome"
 }
 
 // all reports whether every deterministic section should run. The fault
@@ -46,6 +56,17 @@ func (o options) all() bool {
 // reproducible at any worker count — the golden tests depend on it.
 func emit(w io.Writer, o options) error {
 	r := eval.NewRunner(o.workers)
+	var tr *obs.Trace
+	if o.trace != "" {
+		// The registry observes every SGX instruction the scenarios
+		// execute: platforms created from here on inherit it as their
+		// probe. Its counters ride along in the trace's "metrics" track.
+		reg := obs.NewRegistry()
+		tr = obs.New(reg)
+		core.SetDefaultProbe(reg)
+		defer core.SetDefaultProbe(nil)
+		r.SetTrace(tr)
+	}
 	section := func(name string, render func(w io.Writer) error) eval.Section {
 		return func() ([]byte, error) {
 			var b bytes.Buffer
@@ -60,7 +81,7 @@ func emit(w io.Writer, o options) error {
 	var sections []eval.Section
 	if o.table == 1 || o.all() {
 		sections = append(sections, section("table 1", func(w io.Writer) error {
-			rows, err := eval.Table1()
+			rows, err := eval.Table1Traced(tr)
 			if err != nil {
 				return err
 			}
@@ -70,7 +91,7 @@ func emit(w io.Writer, o options) error {
 	}
 	if o.table == 2 || o.all() {
 		sections = append(sections, section("table 2", func(w io.Writer) error {
-			rows, err := eval.Table2()
+			rows, err := eval.Table2Traced(tr)
 			if err != nil {
 				return err
 			}
@@ -80,7 +101,7 @@ func emit(w io.Writer, o options) error {
 	}
 	if o.table == 3 || o.all() {
 		sections = append(sections, section("table 3", func(w io.Writer) error {
-			rows, err := eval.Table3()
+			rows, err := eval.Table3Traced(tr)
 			if err != nil {
 				return err
 			}
@@ -149,7 +170,33 @@ func emit(w io.Writer, o options) error {
 			return err
 		}
 	}
+	if tr != nil {
+		if err := writeTrace(o.trace, o.traceFormat, tr); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeTrace exports the trace to path in the chosen format.
+func writeTrace(path, format string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	events := tr.Events()
+	switch format {
+	case "", "jsonl":
+		err = obs.WriteJSONL(f, events)
+	case "chrome":
+		err = obs.WriteChrome(f, events)
+	default:
+		err = fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", format)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func main() {
@@ -162,7 +209,21 @@ func main() {
 	flag.BoolVar(&o.faults, "faults", false, "run the fault-tolerance sweep (timing-dependent, excluded from -ablations and the default run)")
 	flag.BoolVar(&o.csv, "csv", false, "emit Figure 3 as CSV (for plotting) instead of the text chart")
 	flag.IntVar(&o.workers, "workers", 0, "evaluation-engine worker pool size; 0 = GOMAXPROCS, 1 = serial")
+	flag.StringVar(&o.trace, "trace", "", "write a deterministic trace of the run to this file")
+	flag.StringVar(&o.traceFormat, "trace-format", "jsonl", "trace format: jsonl (for sgxnet-trace) or chrome (for Perfetto)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060); off by default")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// Wall-clock profiling of the harness itself (worker-pool
+		// utilization, GC); the deterministic cost model never reads it.
+		expvar.Publish("workers", expvar.Func(func() any { return o.workers }))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
 
 	if err := emit(os.Stdout, o); err != nil {
 		log.Fatal(err)

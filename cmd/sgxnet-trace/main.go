@@ -1,0 +1,123 @@
+// Command sgxnet-trace analyzes a JSONL trace produced by
+// sgxnet-tables -trace: it validates the stream, attributes each
+// track's run total to named spans, and ranks the spans that spent the
+// most SGX instructions.
+//
+// Usage:
+//
+//	sgxnet-trace out.trace             # per-track cost attribution
+//	sgxnet-trace -check out.trace      # validate well-formedness, exit 1 on problems
+//	sgxnet-trace -top 10 out.trace     # also rank the top spans by SGX(U) delta
+//	sgxnet-trace -metrics out.trace    # also dump the metric registry counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sgxnet-trace: ")
+	check := flag.Bool("check", false, "validate the trace (dense sequences, monotone clocks, LIFO spans) and exit non-zero on problems")
+	top := flag.Int("top", 0, "also print the N spans with the largest SGX(U) deltas")
+	metrics := flag.Bool("metrics", false, "also print the metric registry counters")
+	minCoverage := flag.Float64("min-coverage", 0, "fail unless spans attribute at least this fraction of the reported run totals (e.g. 0.95)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatal("usage: sgxnet-trace [flags] trace.jsonl")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, err := obs.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(events) == 0 {
+		log.Fatal("empty trace")
+	}
+
+	if *check {
+		if errs := obs.Check(events); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "invalid:", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %d events, well-formed\n", len(events))
+	}
+
+	a := obs.Analyze(events)
+	render(os.Stdout, a, *top, *metrics)
+
+	if *minCoverage > 0 && a.Coverage() < *minCoverage {
+		log.Fatalf("coverage %.1f%% below required %.1f%%",
+			100*a.Coverage(), 100**minCoverage)
+	}
+}
+
+func tally(t core.Tally) string {
+	return fmt.Sprintf("%d\t%d\t%d", t.SGXU, t.Normal, t.Cycles())
+}
+
+// render prints the per-track attribution tables and the overall
+// coverage line — the analyzer's main product: where every estimated
+// cycle of the run went, with the unattributed residual explicit.
+func render(w io.Writer, a *obs.Analysis, top int, metrics bool) {
+	for i := range a.Tracks {
+		t := &a.Tracks[i]
+		if len(t.Spans) == 0 && !t.HasTotal {
+			continue // instant-only track (e.g. fault events)
+		}
+		fmt.Fprintf(w, "track %s (%d spans, %d instants)\n", t.Name, len(t.Spans), t.Instants)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  phase\tcount\tSGX(U)\tnormal\tcycles")
+		for _, p := range t.Phases() {
+			fmt.Fprintf(tw, "  %s\t%d\t%s\n", p.Name, p.Count, tally(p.Self))
+		}
+		src := "= span sum"
+		if t.HasTotal {
+			src = "reported"
+		}
+		fmt.Fprintf(tw, "  total (%s)\t\t%s\n", src, tally(t.Total))
+		if t.HasTotal {
+			fmt.Fprintf(tw, "  attributed\t\t%s\n", tally(t.Attributed))
+			fmt.Fprintf(tw, "  residual\t\t%s\n", tally(t.Residual()))
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "coverage: %.1f%% of reported totals attributed to spans (%d of %d cycles)\n",
+		100*a.Coverage(), a.CoveredAttr.Cycles(), a.CoveredTotal.Cycles())
+
+	if top > 0 {
+		fmt.Fprintf(w, "\ntop %d spans by SGX(U) delta:\n", top)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  track\tspan\tSGX(U)\tnormal\tcycles")
+		for _, s := range a.TopSpans(top) {
+			fmt.Fprintf(tw, "  %s\t%s\t%s\n", s.Track, s.Name, tally(s.Delta))
+		}
+		tw.Flush()
+	}
+
+	if metrics {
+		fmt.Fprintln(w, "\nmetrics:")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, m := range a.Metrics {
+			fmt.Fprintf(tw, "  %s\t%d\n", m.Name, m.Value)
+		}
+		tw.Flush()
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/obs"
 	"sgxnet/internal/sgxcrypto"
 )
 
@@ -259,6 +260,16 @@ func (st *TargetState) finish(env *core.Env, arg []byte) ([]byte, error) {
 // hello/done framing, and enters the enclave for the three protocol
 // steps. On success the enclave holds a session for the returned connID.
 func Respond(enc *core.Enclave, shim *netsim.IOShim, host *netsim.SimHost, conn *netsim.Conn) (uint32, error) {
+	return RespondTrace(nil, "", enc, shim, host, conn)
+}
+
+// RespondTrace is Respond with an optional trace: each protocol round
+// becomes a span on the given track carrying the target enclave's tally
+// delta for that round. A nil trace makes it identical to Respond. The
+// track must be private to this (sequential) driver flow.
+func RespondTrace(tr *obs.Trace, track string, enc *core.Enclave, shim *netsim.IOShim, host *netsim.SimHost, conn *netsim.Conn) (uint32, error) {
+	all := tr.Begin(track, "attest.respond", enc.Meter())
+	defer all.End()
 	cid := shim.Adopt(conn)
 	qconn, err := host.Dial(host.Name(), QuoteService)
 	if err != nil {
@@ -276,10 +287,16 @@ func Respond(enc *core.Enclave, shim *netsim.IOShim, host *netsim.SimHost, conn 
 	binary.LittleEndian.PutUint32(arg[:4], cid)
 	binary.LittleEndian.PutUint32(arg[4:], qid)
 
-	if _, err := enc.Call("attest.t.prepare", arg); err != nil {
+	round := func(name string) error {
+		s := tr.Begin(track, name, enc.Meter())
+		_, err := enc.Call(name, arg)
+		s.End()
+		return err
+	}
+	if err := round("attest.t.prepare"); err != nil {
 		return 0, err
 	}
-	if _, err := enc.Call("attest.t.evidence", arg); err != nil {
+	if err := round("attest.t.evidence"); err != nil {
 		return 0, err
 	}
 	if err := qconn.Send([]byte("done")); err != nil {
@@ -288,7 +305,7 @@ func Respond(enc *core.Enclave, shim *netsim.IOShim, host *netsim.SimHost, conn 
 	if _, err := qconn.Recv(); err != nil { // qe-bye
 		return 0, err
 	}
-	if _, err := enc.Call("attest.t.finish", arg); err != nil {
+	if err := round("attest.t.finish"); err != nil {
 		return 0, err
 	}
 	return cid, nil
@@ -496,7 +513,17 @@ func (st *ChallengerState) Abort(connID uint32) {
 // and the attested peer identity is returned. On failure the connection
 // is closed so the remote side unblocks.
 func Challenge(enc *core.Enclave, shim *netsim.IOShim, conn *netsim.Conn, wantDH bool) (uint32, Identity, error) {
-	cid, id, err := challengeOnce(enc, shim, conn, wantDH, 0)
+	return ChallengeTrace(nil, "", enc, shim, conn, wantDH)
+}
+
+// ChallengeTrace is Challenge with an optional trace: the whole run and
+// each enclave round become spans on the given track carrying the
+// challenger enclave's tally deltas. A nil trace makes it identical to
+// Challenge. The track must be private to this (sequential) flow.
+func ChallengeTrace(tr *obs.Trace, track string, enc *core.Enclave, shim *netsim.IOShim, conn *netsim.Conn, wantDH bool) (uint32, Identity, error) {
+	all := tr.Begin(track, "attest.challenge", enc.Meter())
+	cid, id, err := challengeOnce(tr, track, enc, shim, conn, wantDH, 0)
+	all.End()
 	if err != nil {
 		return 0, Identity{}, err
 	}
@@ -509,11 +536,12 @@ func Challenge(enc *core.Enclave, shim *netsim.IOShim, conn *netsim.Conn, wantDH
 // enclave state before retrying. A timed-out receive charges
 // core.CostRecvTimeout to the challenger enclave's meter: the enclave is
 // re-entered just to learn the attempt is dead.
-func challengeOnce(enc *core.Enclave, shim *netsim.IOShim, conn *netsim.Conn, wantDH bool, recvTimeout time.Duration) (uint32, Identity, error) {
+func challengeOnce(tr *obs.Trace, track string, enc *core.Enclave, shim *netsim.IOShim, conn *netsim.Conn, wantDH bool, recvTimeout time.Duration) (uint32, Identity, error) {
 	cid := shim.Adopt(conn)
 	fail := func(err error) (uint32, Identity, error) {
 		if errors.Is(err, netsim.ErrTimeout) {
 			enc.Meter().ChargeNormal(core.CostRecvTimeout)
+			tr.Event(track, "attest.recv_timeout", nil)
 		}
 		conn.Close()
 		return cid, Identity{}, err
@@ -523,14 +551,19 @@ func challengeOnce(enc *core.Enclave, shim *netsim.IOShim, conn *netsim.Conn, wa
 	if wantDH {
 		arg[4] = 1
 	}
-	if _, err := enc.Call("attest.c.begin", arg); err != nil {
+	sb := tr.Begin(track, "attest.c.begin", enc.Meter())
+	_, err := enc.Call("attest.c.begin", arg)
+	sb.End()
+	if err != nil {
 		return fail(err)
 	}
 	ev, err := conn.RecvTimeout(recvTimeout) // untrusted receive of public evidence
 	if err != nil {
 		return fail(err)
 	}
+	sf := tr.Begin(track, "attest.c.finish", enc.Meter())
 	idRaw, err := enc.Call("attest.c.finish", append(arg[:4:4], ev...))
+	sf.End()
 	if err != nil {
 		return fail(err)
 	}

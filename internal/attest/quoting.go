@@ -6,6 +6,7 @@ import (
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/obs"
 	"sgxnet/internal/sgxcrypto"
 )
 
@@ -122,6 +123,24 @@ type Agent struct {
 
 	shim *netsim.IOShim
 	l    *netsim.Listener
+
+	trMu    sync.Mutex
+	trace   *obs.Trace
+	trTrack string
+}
+
+// SetTrace makes the agent record a span per served quote request on
+// the given track, carrying the quoting enclave's tally delta. Set it
+// before traffic starts and give the agent its own track. Spans are
+// derived from meter snapshots around each serve — no lock is held
+// while a request is in flight (a quote exchange can block arbitrarily
+// long under a fault schedule), so overlapping serves each record a
+// span but their deltas may include each other's charges; the traced
+// evaluation flows serve one request at a time.
+func (a *Agent) SetTrace(tr *obs.Trace, track string) {
+	a.trMu.Lock()
+	a.trace, a.trTrack = tr, track
+	a.trMu.Unlock()
 }
 
 // NewAgent launches the quoting enclave on the host (its platform must
@@ -154,7 +173,15 @@ func (a *Agent) serveConn(c *netsim.Conn) {
 	defer c.Close()
 	id := a.shim.Adopt(c)
 	arg := netsim.EncodeSend(id, nil)
-	if _, err := a.QE.Call("serve", arg); err != nil {
+	a.trMu.Lock()
+	tr, track := a.trace, a.trTrack
+	a.trMu.Unlock()
+	before := a.QE.Meter().Snapshot()
+	_, err := a.QE.Call("serve", arg)
+	if tr != nil {
+		tr.RecordSpan(track, "attest.quote", a.QE.Meter().Snapshot().Sub(before))
+	}
+	if err != nil {
 		// Refused (e.g. forged report): the requester sees the closed
 		// connection. Denial is always in the host's power; wrong quotes
 		// are not.

@@ -7,6 +7,7 @@ import (
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/obs"
 )
 
 // Retry driver for remote attestation under a faulty network. The paper's
@@ -84,12 +85,27 @@ func Transient(err error) bool {
 // core.CostRetryAttempt to the challenger enclave's meter.
 func ChallengeRetry(enc *core.Enclave, shim *netsim.IOShim, st *ChallengerState,
 	dial func() (*netsim.Conn, error), wantDH bool, pol RetryPolicy) (*netsim.Conn, uint32, Identity, int, error) {
+	return ChallengeRetryTrace(nil, "", enc, shim, st, dial, wantDH, pol)
+}
+
+// ChallengeRetryTrace is ChallengeRetry with an optional trace: every
+// retry records an "attest.retry" instant event (with the attempt
+// number and the error that forced it), and the enclave rounds of each
+// attempt become spans, so a trace shows exactly how much of an
+// attestation's cost the network adversary caused. A nil trace makes it
+// identical to ChallengeRetry.
+func ChallengeRetryTrace(tr *obs.Trace, track string, enc *core.Enclave, shim *netsim.IOShim, st *ChallengerState,
+	dial func() (*netsim.Conn, error), wantDH bool, pol RetryPolicy) (*netsim.Conn, uint32, Identity, int, error) {
 	pol = pol.withDefaults()
 	backoff := pol.Backoff
 	var lastErr error
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
 		if attempt > 0 {
 			enc.Meter().ChargeNormal(core.CostRetryAttempt)
+			tr.Event(track, "attest.retry", map[string]string{
+				"attempt": fmt.Sprint(attempt),
+				"cause":   lastErr.Error(),
+			})
 			time.Sleep(backoff)
 			backoff *= 2
 			if backoff > pol.BackoffMax {
@@ -104,7 +120,7 @@ func ChallengeRetry(enc *core.Enclave, shim *netsim.IOShim, st *ChallengerState,
 			}
 			continue
 		}
-		cid, id, err := challengeOnce(enc, shim, conn, wantDH, pol.RecvTimeout)
+		cid, id, err := challengeOnce(tr, track, enc, shim, conn, wantDH, pol.RecvTimeout)
 		if err == nil {
 			return conn, cid, id, attempt, nil
 		}

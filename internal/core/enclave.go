@@ -37,6 +37,11 @@ func (b *EnclaveBuilder) AddPage(linAddr uint64, typ PageType, perms PagePerms, 
 	b.m.addPage(linAddr, typ, perms, content)
 	b.nPages++
 	b.plat.HostMeter.ChargeNormal(CostPageAdd)
+	if h := b.plat.probe.Load(); h != nil {
+		h.p.Observe(KindEADD, 1)
+		h.p.Observe(KindEEXTEND, 16) // one EEXTEND per 256-byte chunk
+		h.p.Observe(KindPageAdd, 1)
+	}
 	return nil
 }
 
@@ -87,6 +92,7 @@ func (b *EnclaveBuilder) EInit(prog *Program, ss SigStruct) (*Enclave, error) {
 	}
 	b.inited = true
 	b.plat.HostMeter.ChargeNormal(CostEnclaveInit)
+	b.plat.observe(KindEINIT, 1)
 
 	attrs := Attributes{Debug: ss.Debug}
 	signer := sha256.Sum256(ss.SignerPub)
@@ -242,9 +248,14 @@ func (e *Enclave) Call(fn string, arg []byte) ([]byte, error) {
 		return nil, fmt.Errorf("core: enclave %q has no entry point %q", e.prog.Name, fn)
 	}
 	e.meter.ChargeSGX(1) // EENTER
+	if hp := e.plat.probe.Load(); hp != nil {
+		hp.p.Observe(KindEENTER, 1)
+		hp.p.Observe(KindEnclaveCall, 1)
+	}
 	env := &Env{e: e}
 	out, err := h(env, arg)
 	e.meter.ChargeSGX(1) // EEXIT
+	e.plat.observe(KindEEXIT, 1)
 	return out, err
 }
 
@@ -284,6 +295,11 @@ func (env *Env) OCall(service string, arg []byte) ([]byte, error) {
 		return nil, ErrNoHost
 	}
 	env.e.meter.ChargeSGX(2) // EEXIT + ERESUME
+	if hp := env.e.plat.probe.Load(); hp != nil {
+		hp.p.Observe(KindEEXIT, 1)
+		hp.p.Observe(KindERESUME, 1)
+		hp.p.Observe(KindEnclaveOCall, 1)
+	}
 	return h.OCall(service, arg)
 }
 
@@ -301,6 +317,7 @@ func (env *Env) Alloc(n int) []byte {
 func (env *Env) ChargeAllocs(n uint64) {
 	env.e.meter.ChargeSGX(n * SGXInstEnclaveAlloc)
 	env.e.meter.ChargeNormal(n * CostEnclaveAllocFixed)
+	env.e.plat.observe(KindEnclaveAlloc, n)
 }
 
 // KeyName selects which key EGETKEY derives.
@@ -320,6 +337,7 @@ const (
 // key name) this enclave's identity.
 func (env *Env) GetKey(name KeyName) ([32]byte, error) {
 	env.e.meter.ChargeSGX(1) // EGETKEY
+	env.e.plat.observe(KindEGETKEY, 1)
 	switch name {
 	case KeyReport:
 		return env.e.plat.deriveKey("report", env.e.mrenclave), nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the SGX enclave page size.
@@ -79,6 +80,10 @@ type EPC struct {
 	free     []int
 	sealKey  [32]byte                // MEE key; lives only inside the CPU package
 	versions map[versionKey][32]byte // EWB version tokens (CPU-held)
+
+	// probe mirrors the owning platform's probe (see Platform.SetProbe)
+	// so paging events are observable without a back-pointer.
+	probe atomic.Pointer[probeHolder]
 }
 
 // ErrEPCFull is returned when no EPC frame is free.

@@ -99,7 +99,13 @@ func (m *Meter) Normal() uint64 {
 // paper's conversion formula.
 func (m *Meter) Cycles() uint64 { return CyclesOf(m.SGX(), m.Normal()) }
 
-// Snapshot captures the current tallies, folding all stripes.
+// Snapshot captures the current tallies, folding all stripes. With
+// concurrent chargers the result is a consistent point-in-time value
+// per counter but the SGXU/Normal pair is not atomic as a whole: a
+// charge that lands between the two folds appears in Normal but not
+// SGXU (or vice versa). Callers that need an exact period — everything
+// charged since the last boundary, each charge in exactly one period —
+// must quiesce chargers first or use SnapshotAndReset.
 func (m *Meter) Snapshot() Tally {
 	if m == nil {
 		return Tally{}
@@ -107,7 +113,12 @@ func (m *Meter) Snapshot() Tally {
 	return Tally{SGXU: m.SGX(), Normal: m.Normal()}
 }
 
-// Reset zeroes both counters.
+// Reset zeroes both counters. Like Snapshot, Reset is not atomic with
+// respect to concurrent Charge* calls: the classic Snapshot-then-Reset
+// sequence silently drops any charge that lands between the two calls,
+// and a charge racing Reset itself may survive into the next period on
+// one stripe while its sibling is zeroed. Use SnapshotAndReset when the
+// tallies must partition exactly across period boundaries.
 func (m *Meter) Reset() {
 	if m == nil {
 		return
@@ -116,6 +127,25 @@ func (m *Meter) Reset() {
 		m.stripes[i].sgxU.Store(0)
 		m.stripes[i].normal.Store(0)
 	}
+}
+
+// SnapshotAndReset atomically drains the meter: it returns everything
+// charged since the previous boundary and leaves the meter zeroed,
+// using an atomic swap per counter so that every concurrent charge
+// lands in exactly one period — either the returned tally or the next
+// one, never both and never neither. This is the correct primitive for
+// phase accounting (the eval runner's steady-state boundary) where the
+// per-phase tallies must sum to the run's total.
+func (m *Meter) SnapshotAndReset() Tally {
+	if m == nil {
+		return Tally{}
+	}
+	var t Tally
+	for i := range m.stripes {
+		t.SGXU += m.stripes[i].sgxU.Swap(0)
+		t.Normal += m.stripes[i].normal.Swap(0)
+	}
+	return t
 }
 
 // AddTally folds a tally into the meter (used when aggregating per-enclave

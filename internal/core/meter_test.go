@@ -120,3 +120,53 @@ func TestTallyString(t *testing.T) {
 		t.Fatal("empty String")
 	}
 }
+
+// TestSnapshotAndResetPartitionsExactly drives concurrent chargers
+// across repeated period boundaries and requires that the per-period
+// tallies plus the final drain sum to exactly what was charged — the
+// guarantee Snapshot-then-Reset cannot give (a charge landing between
+// the two calls is silently dropped).
+func TestSnapshotAndResetPartitionsExactly(t *testing.T) {
+	m := NewMeter()
+	const (
+		chargers   = 8
+		perCharger = 5000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < chargers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perCharger; j++ {
+				m.ChargeSGX(1)
+				m.ChargeNormal(3)
+			}
+		}()
+	}
+	var periods Tally
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		periods = periods.Add(m.SnapshotAndReset())
+		select {
+		case <-done:
+			periods = periods.Add(m.SnapshotAndReset())
+			want := Tally{SGXU: chargers * perCharger, Normal: 3 * chargers * perCharger}
+			if periods != want {
+				t.Fatalf("periods sum to %+v, want %+v", periods, want)
+			}
+			if got := m.Snapshot(); got != (Tally{}) {
+				t.Fatalf("meter not drained: %+v", got)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestSnapshotAndResetNilSafe(t *testing.T) {
+	var m *Meter
+	if got := m.SnapshotAndReset(); got != (Tally{}) {
+		t.Fatalf("nil meter drained to %+v", got)
+	}
+}

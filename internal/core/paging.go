@@ -45,6 +45,10 @@ type versionKey struct {
 // returned blob belongs to the untrusted OS.
 func (e *EPC) EWB(m *Meter, idx int) (*EvictedPage, error) {
 	m.ChargeNormal(CostPageEvict)
+	if h := e.probe.Load(); h != nil {
+		h.p.Observe(KindEWB, 1)
+		h.p.Observe(KindPageEvict, 1)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if idx < 0 || idx >= len(e.frames) || !e.epcm[idx].Valid {
@@ -104,6 +108,10 @@ func (e *EPC) EWB(m *Meter, idx int) (*EvictedPage, error) {
 // its latest version).
 func (e *EPC) ELDU(m *Meter, ep *EvictedPage) (int, error) {
 	m.ChargeNormal(CostPageLoad)
+	if h := e.probe.Load(); h != nil {
+		h.p.Observe(KindELDU, 1)
+		h.p.Observe(KindPageLoad, 1)
+	}
 	if ep == nil || len(ep.Blob) != 16+18+PageSize+32 {
 		return 0, ErrPageVersion
 	}

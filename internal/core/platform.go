@@ -7,6 +7,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // EnclaveID identifies an enclave on its platform.
@@ -62,6 +63,11 @@ type Platform struct {
 	// HostMeter tallies instructions executed by untrusted host code on
 	// this platform (the "w/o SGX" side of comparisons).
 	HostMeter *Meter
+
+	// probe, when set, observes the platform's instruction stream and
+	// lifecycle events (see SetProbe). Nil by default and on the hot
+	// path costs one atomic load.
+	probe atomic.Pointer[probeHolder]
 }
 
 // NewPlatform creates a platform with freshly generated fused secrets and
@@ -81,7 +87,7 @@ func NewPlatform(name string, cfg PlatformConfig) (*Platform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: attestation key: %w", err)
 	}
-	return &Platform{
+	p := &Platform{
 		Name:      name,
 		cfg:       cfg,
 		epc:       NewEPC(cfg.EPCFrames, sealKey),
@@ -91,7 +97,12 @@ func NewPlatform(name string, cfg PlatformConfig) (*Platform, error) {
 		enclaves:  make(map[EnclaveID]*Enclave),
 		nextID:    1,
 		HostMeter: NewMeter(),
-	}, nil
+	}
+	if h := defaultProbe.Load(); h != nil {
+		p.probe.Store(h)
+		p.epc.probe.Store(h)
+	}
+	return p, nil
 }
 
 // EPC exposes the platform's enclave page cache (host-visible; contents
@@ -162,6 +173,7 @@ func (p *Platform) ECreate(sizeHint int) (*EnclaveBuilder, error) {
 	if _, err := p.epc.Alloc(0, PageSECS, 0, PermR, secs); err != nil {
 		return nil, fmt.Errorf("core: ECREATE: %w", err)
 	}
+	p.observe(KindECREATE, 1)
 	return &EnclaveBuilder{
 		plat: p,
 		id:   id,

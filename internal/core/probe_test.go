@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// countProbe is a threadsafe Probe recording per-kind totals.
+type countProbe struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+}
+
+func newCountProbe() *countProbe { return &countProbe{counts: make(map[string]uint64)} }
+
+func (p *countProbe) Observe(kind string, n uint64) {
+	p.mu.Lock()
+	p.counts[kind] += n
+	p.mu.Unlock()
+}
+
+func (p *countProbe) get(kind string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[kind]
+}
+
+// launchProbed builds a platform with the probe attached and an enclave
+// with one echo handler.
+func launchProbed(t *testing.T, pr Probe) *Enclave {
+	t.Helper()
+	plat, err := NewPlatform("probe-host", PlatformConfig{EPCFrames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr != nil {
+		plat.SetProbe(pr)
+	}
+	signer, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &Program{Name: "probed", Version: "1", Handlers: map[string]Handler{
+		"echo": func(env *Env, arg []byte) ([]byte, error) { return arg, nil },
+	}}
+	enc, err := plat.Launch(prog, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestProbeObservesInstructionStream(t *testing.T) {
+	pr := newCountProbe()
+	enc := launchProbed(t, pr)
+	if pr.get(KindECREATE) != 1 || pr.get(KindEINIT) != 1 {
+		t.Errorf("launch: ECREATE=%d EINIT=%d, want 1/1", pr.get(KindECREATE), pr.get(KindEINIT))
+	}
+	if pr.get(KindEADD) == 0 || pr.get(KindEEXTEND) != 16*pr.get(KindEADD) {
+		t.Errorf("launch: EADD=%d EEXTEND=%d, want 16 EEXTEND per EADD", pr.get(KindEADD), pr.get(KindEEXTEND))
+	}
+	before := pr.get(KindEENTER)
+	if _, err := enc.Call("echo", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if pr.get(KindEENTER) != before+1 || pr.get(KindEEXIT) == 0 {
+		t.Errorf("call did not observe EENTER/EEXIT (EENTER %d→%d)", before, pr.get(KindEENTER))
+	}
+	if pr.get(KindEnclaveCall) != 1 {
+		t.Errorf("enclave.call = %d, want 1", pr.get(KindEnclaveCall))
+	}
+}
+
+// TestProbeNeverCharges is the core invariant the golden tables rest
+// on: attaching a probe decomposes costs but never changes them.
+func TestProbeNeverCharges(t *testing.T) {
+	plain := launchProbed(t, nil)
+	probed := launchProbed(t, newCountProbe())
+	for _, enc := range []*Enclave{plain, probed} {
+		if _, err := enc.Call("echo", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := plain.Meter().Snapshot(), probed.Meter().Snapshot(); a != b {
+		t.Errorf("probe changed tallies: %+v vs %+v", a, b)
+	}
+}
+
+func TestDefaultProbeInheritedAtCreation(t *testing.T) {
+	pr := newCountProbe()
+	SetDefaultProbe(pr)
+	defer SetDefaultProbe(nil)
+	enc := launchProbed(t, nil) // no explicit SetProbe — inherits
+	_ = enc
+	if pr.get(KindECREATE) == 0 {
+		t.Error("platform did not inherit the default probe")
+	}
+	n := pr.get(KindECREATE)
+	SetDefaultProbe(nil)
+	enc2 := launchProbed(t, nil)
+	_ = enc2
+	if pr.get(KindECREATE) != n {
+		t.Error("cleared default probe still observed a new platform")
+	}
+}

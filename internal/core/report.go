@@ -81,6 +81,7 @@ func (env *Env) EReport(target TargetInfo, data ReportData) Report {
 	e := env.e
 	e.meter.ChargeSGX(1) // EREPORT
 	e.meter.ChargeNormal(CostHMAC)
+	e.plat.observe(KindEREPORT, 1)
 	r := Report{
 		MREnclave:  e.mrenclave,
 		MRSigner:   e.mrsigner,

@@ -35,6 +35,7 @@ func (env *Env) SealData(name KeyName, data []byte) ([]byte, error) {
 		return nil, err
 	}
 	env.ChargeNormal(CostAESKeySchedule + uint64(len(data))*CostAESBlockPerByte + CostHMAC)
+	env.e.plat.observe(KindSeal, 1)
 	block, err := aes.NewCipher(key[:16])
 	if err != nil {
 		return nil, err
@@ -68,6 +69,7 @@ func (env *Env) UnsealData(name KeyName, blob []byte) ([]byte, error) {
 		return nil, err
 	}
 	env.ChargeNormal(CostAESKeySchedule + uint64(len(blob))*CostAESBlockPerByte + CostHMAC)
+	env.e.plat.observe(KindUnseal, 1)
 	body, tag := blob[:len(blob)-32], blob[len(blob)-32:]
 	mac := hmac.New(sha256.New, key[16:])
 	mac.Write(body)

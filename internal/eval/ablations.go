@@ -8,6 +8,7 @@ import (
 	"sgxnet/internal/core"
 	"sgxnet/internal/middlebox"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/obs"
 	"sgxnet/internal/smpc"
 )
 
@@ -30,13 +31,13 @@ func (r *Runner) Ablations() (*AblationSuite, error) {
 		var err error
 		switch i {
 		case 0:
-			s.Batch, err = AblationBatchSweep(nil)
+			s.Batch, err = ablationBatchSweep(r.trace, nil)
 		case 1:
 			s.SMPC, err = AblationSMPC()
 		case 2:
 			s.DHT, err = AblationDHTLookups(nil)
 		case 3:
-			s.Mbox, err = AblationMiddleboxApproaches()
+			s.Mbox, err = ablationMiddleboxApproaches(r.trace)
 		}
 		return struct{}{}, err
 	})
@@ -69,12 +70,16 @@ type BatchSweepPoint struct {
 // size — the design lever behind the paper's "the cost can be amortized
 // with batched I/O".
 func AblationBatchSweep(batches []int) ([]BatchSweepPoint, error) {
+	return ablationBatchSweep(nil, batches)
+}
+
+func ablationBatchSweep(tr *obs.Trace, batches []int) ([]BatchSweepPoint, error) {
 	if len(batches) == 0 {
 		batches = []int{1, 2, 5, 10, 25, 50, 100}
 	}
 	var pts []BatchSweepPoint
 	for _, b := range batches {
-		t, err := MeasureSend(b, false)
+		t, err := MeasureSendTraced(tr, fmt.Sprintf("ablation/batch/n=%d", b), b, false)
 		if err != nil {
 			return nil, err
 		}
@@ -217,6 +222,10 @@ type MboxApproachComparison struct {
 
 // AblationMiddleboxApproaches measures both designs live.
 func AblationMiddleboxApproaches() (*MboxApproachComparison, error) {
+	return ablationMiddleboxApproaches(nil)
+}
+
+func ablationMiddleboxApproaches(tr *obs.Trace) (*MboxApproachComparison, error) {
 	out := &MboxApproachComparison{}
 
 	// SGX side: one middlebox, meters reset right before provisioning.
@@ -226,7 +235,7 @@ func AblationMiddleboxApproaches() (*MboxApproachComparison, error) {
 	}
 	rig.Endpoint.Meter().Reset()
 	rig.Mboxes[0].Enclave().Meter().Reset()
-	if _, err := rig.ProvisionAll(); err != nil {
+	if _, err := rig.ProvisionAllTraced(tr, "ablation/mbox"); err != nil {
 		return nil, err
 	}
 	out.SGXFirstContact = rig.Endpoint.Meter().Snapshot().Add(rig.Mboxes[0].Enclave().Meter().Snapshot())

@@ -7,6 +7,7 @@ import (
 
 	"sgxnet/internal/attest"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/obs"
 )
 
 // Fault-tolerance ablation: how the hardened attestation protocol
@@ -88,7 +89,7 @@ func (r *Runner) FaultTolerance(intensities []float64, trials int) ([]FaultToler
 	}
 	pol := faultTolPolicy()
 	pts, err := mapOrdered(r, len(intensities), func(i int) (FaultTolerancePoint, error) {
-		return faultTolPoint(i, intensities[i], trials, pol)
+		return faultTolPoint(r.trace, i, intensities[i], trials, pol)
 	})
 	if err != nil {
 		return nil, err
@@ -102,8 +103,15 @@ func (r *Runner) FaultTolerance(intensities []float64, trials int) ([]FaultToler
 	return pts, nil
 }
 
-// faultTolPoint measures one intensity step on a private rig.
-func faultTolPoint(i int, drop float64, trials int, pol attest.RetryPolicy) (FaultTolerancePoint, error) {
+// faultTolPoint measures one intensity step on a private rig. With a
+// trace, each trial's schedule recipe and every fault intervention land
+// on a "faults/drop=…" track alongside the challenger's retry events —
+// the satellite recipe for replaying a failing faulty run from its
+// trace. Fault events interleave on network goroutines, so these
+// tracks (like the sweep itself) are wall-clock sensitive and excluded
+// from byte-identical goldens; the recipe plus the per-event virtual-
+// clock ticks still reproduce the run.
+func faultTolPoint(tr *obs.Trace, i int, drop float64, trials int, pol attest.RetryPolicy) (FaultTolerancePoint, error) {
 	rig, err := newAttestRig()
 	if err != nil {
 		return FaultTolerancePoint{}, err
@@ -129,14 +137,20 @@ func faultTolPoint(i int, drop float64, trials int, pol attest.RetryPolicy) (Fau
 	})
 
 	pt := FaultTolerancePoint{Intensity: drop, Trials: trials}
+	track := fmt.Sprintf("faults/drop=%.2f", drop)
 	var cycles uint64
 	for trial := 0; trial < trials; trial++ {
 		fs := faultTolSchedule(int64(7000+100*i+trial), drop)
+		if tr != nil {
+			rec := &obs.FaultRecorder{T: tr, Track: track}
+			rec.RecordSchedule(fs.Seed(), fs.String())
+			fs.SetObserver(rec)
+		}
 		rig.net.SetFaults(fs)
 		rig.challenger.Meter().Reset()
 		dial := func() (*netsim.Conn, error) { return rig.hostC.Dial("target-host", "app") }
-		conn, cid, _, retries, err := attest.ChallengeRetry(
-			rig.challenger, rig.cShim, rig.cState, dial, true, pol)
+		conn, cid, _, retries, err := attest.ChallengeRetryTrace(
+			tr, track, rig.challenger, rig.cShim, rig.cState, dial, true, pol)
 		pt.Retries += retries
 		if err == nil {
 			pt.Successes++

@@ -7,6 +7,7 @@ import (
 	"sgxnet/internal/core"
 	"sgxnet/internal/middlebox"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/obs"
 	"sgxnet/internal/tlslite"
 )
 
@@ -127,15 +128,25 @@ func NewMboxRig(nMbox int) (*MboxRig, error) {
 // ProvisionAll attests and provisions every middlebox, returning the
 // attestation count.
 func (r *MboxRig) ProvisionAll() (int, error) {
+	return r.ProvisionAllTraced(nil, "")
+}
+
+// ProvisionAllTraced is ProvisionAll with each middlebox's attest-and-
+// provision exchange recorded as a "mbox.provision" span (the endpoint
+// enclave's tally delta) and an activation instant on the given track.
+func (r *MboxRig) ProvisionAllTraced(tr *obs.Trace, track string) (int, error) {
 	n := 0
 	for _, mb := range r.Mboxes {
+		sp := tr.Begin(track, "mbox.provision", r.Endpoint.Meter())
 		active, err := middlebox.Provision(r.Endpoint, r.EpShim, r.Client, mb.Host.Name(), "client", r.Session.ExportKeys())
+		sp.End()
 		if err != nil {
 			return n, err
 		}
 		if !active {
 			return n, fmt.Errorf("eval: %s did not activate", mb.Name)
 		}
+		tr.Event(track, "mbox.active", map[string]string{"mbox": mb.Name})
 		n++
 	}
 	return n, nil
@@ -164,10 +175,10 @@ func (r *MboxRig) AddTamperedMbox(name string) (*middlebox.Middlebox, error) {
 	})
 }
 
-func middleboxAttestations(nMbox int) (int, error) {
+func middleboxAttestations(tr *obs.Trace, track string, nMbox int) (int, error) {
 	rig, err := NewMboxRig(nMbox)
 	if err != nil {
 		return 0, err
 	}
-	return rig.ProvisionAll()
+	return rig.ProvisionAllTraced(tr, track)
 }

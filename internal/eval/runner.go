@@ -3,6 +3,8 @@ package eval
 import (
 	"runtime"
 	"sync"
+
+	"sgxnet/internal/obs"
 )
 
 // The parallel evaluation engine. The full sgxnet-tables sweep is
@@ -28,6 +30,7 @@ import (
 type Runner struct {
 	workers int
 	sem     chan struct{}
+	trace   *obs.Trace
 }
 
 // NewRunner builds a pool with the given parallelism; workers <= 0
@@ -42,6 +45,17 @@ func NewRunner(workers int) *Runner {
 
 // Workers returns the pool's parallelism bound.
 func (r *Runner) Workers() int { return r.workers }
+
+// SetTrace attaches a trace: scenario runs record their phases as spans
+// on per-scenario tracks. Concurrent legs always use distinct tracks and
+// the exporter orders events by (track, seq), so the trace — like the
+// rendered tables — is byte-identical at any worker count. Call before
+// the first scenario; a nil trace (the default) keeps every span
+// recorder on its no-op path.
+func (r *Runner) SetTrace(tr *obs.Trace) { r.trace = tr }
+
+// Trace returns the attached trace, or nil.
+func (r *Runner) Trace() *obs.Trace { return r.trace }
 
 // defaultRunner is the pool used by the package-level convenience
 // wrappers (Figure3, Table4, …): full parallelism, which by the

@@ -7,6 +7,7 @@ import (
 	"sgxnet/internal/attest"
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/obs"
 )
 
 // Table 1: number of instructions during remote attestation, per enclave
@@ -26,6 +27,7 @@ type attestRig struct {
 	target     *core.Enclave
 	challenger *core.Enclave
 	quoting    *core.Enclave
+	agentT     *attest.Agent
 	tShim      *netsim.IOShim
 	cShim      *netsim.IOShim
 	hostT      *netsim.SimHost
@@ -54,12 +56,11 @@ func newAttestRig() (*attestRig, error) {
 		}
 		return h, agent, nil
 	}
-	var agentT *attest.Agent
-	r.hostT, agentT, err = mk("target-host")
+	r.hostT, r.agentT, err = mk("target-host")
 	if err != nil {
 		return nil, err
 	}
-	r.quoting = agentT.QE
+	r.quoting = r.agentT.QE
 	r.hostC, _, err = mk("challenger-host")
 	if err != nil {
 		return nil, err
@@ -98,9 +99,22 @@ func newAttestRig() (*attestRig, error) {
 
 // run performs one remote attestation and returns the per-role tallies.
 func (r *attestRig) run(wantDH bool) (target, quoting, challenger core.Tally, err error) {
+	return r.runTraced(nil, "", wantDH)
+}
+
+// runTraced is run with the three protocol roles recorded on their own
+// tracks (<base>/target, <base>/quoting, <base>/challenger). Each role's
+// track carries the protocol-round spans plus a run total equal to its
+// meter tally for the run, so the analyzer's attribution closes exactly:
+// every instruction a role charges, it charges inside Respond, the
+// quote-service call, or Challenge.
+func (r *attestRig) runTraced(tr *obs.Trace, trackBase string, wantDH bool) (target, quoting, challenger core.Tally, err error) {
 	r.target.Meter().Reset()
 	r.quoting.Meter().Reset()
 	r.challenger.Meter().Reset()
+	if tr != nil {
+		r.agentT.SetTrace(tr, trackBase+"/quoting")
+	}
 
 	l, err := r.hostT.Listen("app")
 	if err != nil {
@@ -114,31 +128,43 @@ func (r *attestRig) run(wantDH bool) (target, quoting, challenger core.Tally, er
 			errc <- err
 			return
 		}
-		_, err = attest.Respond(r.target, r.tShim, r.hostT, sc)
+		_, err = attest.RespondTrace(tr, trackBase+"/target", r.target, r.tShim, r.hostT, sc)
 		errc <- err
 	}()
 	conn, err := r.hostC.Dial("target-host", "app")
 	if err != nil {
 		return
 	}
-	if _, _, err = attest.Challenge(r.challenger, r.cShim, conn, wantDH); err != nil {
+	if _, _, err = attest.ChallengeTrace(tr, trackBase+"/challenger", r.challenger, r.cShim, conn, wantDH); err != nil {
 		return
 	}
 	if err = <-errc; err != nil {
 		return
 	}
-	return r.target.Meter().Snapshot(), r.quoting.Meter().Snapshot(), r.challenger.Meter().Snapshot(), nil
+	target = r.target.Meter().Snapshot()
+	quoting = r.quoting.Meter().Snapshot()
+	challenger = r.challenger.Meter().Snapshot()
+	tr.Total(trackBase+"/target", "run.total", target)
+	tr.Total(trackBase+"/quoting", "run.total", quoting)
+	tr.Total(trackBase+"/challenger", "run.total", challenger)
+	return target, quoting, challenger, nil
 }
 
 // Table1 measures all six cells.
 func Table1() ([]Table1Row, error) {
+	return Table1Traced(nil)
+}
+
+// Table1Traced is Table1 with each (DH, role) run recorded on tracks
+// "table1/dh=<v>/<role>".
+func Table1Traced(tr *obs.Trace) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, dh := range []bool{false, true} {
 		rig, err := newAttestRig()
 		if err != nil {
 			return nil, err
 		}
-		tt, qt, ct, err := rig.run(dh)
+		tt, qt, ct, err := rig.runTraced(tr, fmt.Sprintf("table1/dh=%v", dh), dh)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/obs"
 	"sgxnet/internal/sgxcrypto"
 )
 
@@ -74,6 +75,14 @@ func senderProgram() *core.Program {
 // used for session-key derivation in the crypto path is excluded, as the
 // table isolates the transmission itself).
 func MeasureSend(count int, withCrypto bool) (core.Tally, error) {
+	return MeasureSendTraced(nil, "", count, withCrypto)
+}
+
+// MeasureSendTraced is MeasureSend with the measured enclave call
+// recorded as a "send" span on the given track. The track's run total is
+// the raw meter tally of the call — the table's −1 SGX(U) crypto
+// adjustment is a rendering convention, not a cost the enclave avoided.
+func MeasureSendTraced(tr *obs.Trace, track string, count int, withCrypto bool) (core.Tally, error) {
 	n := netsim.New()
 	src, err := n.AddHost("src", core.PlatformConfig{EPCFrames: 128})
 	if err != nil {
@@ -128,10 +137,14 @@ func MeasureSend(count int, withCrypto bool) (core.Tally, error) {
 		arg[4] = 1
 	}
 	binary.LittleEndian.PutUint32(arg[5:9], id)
-	if _, err := enc.Call("send", arg); err != nil {
+	sp := tr.Begin(track, "send", enc.Meter())
+	_, err = enc.Call("send", arg)
+	sp.End()
+	if err != nil {
 		return core.Tally{}, err
 	}
 	tally := enc.Meter().Snapshot()
+	tr.Total(track, "run.total", tally)
 	if withCrypto {
 		tally.SGXU--
 	}
@@ -143,12 +156,19 @@ func MeasureSend(count int, withCrypto bool) (core.Tally, error) {
 
 // Table2 measures all four configurations.
 func Table2() ([]Table2Row, error) {
+	return Table2Traced(nil)
+}
+
+// Table2Traced is Table2 with each configuration recorded on a
+// "table2/n=<packets>/crypto=<v>" track.
+func Table2Traced(tr *obs.Trace) ([]Table2Row, error) {
 	var rows []Table2Row
 	for _, cfg := range []struct {
 		n      int
 		crypto bool
 	}{{1, false}, {1, true}, {100, false}, {100, true}} {
-		t, err := MeasureSend(cfg.n, cfg.crypto)
+		track := fmt.Sprintf("table2/n=%d/crypto=%v", cfg.n, cfg.crypto)
+		t, err := MeasureSendTraced(tr, track, cfg.n, cfg.crypto)
 		if err != nil {
 			return nil, err
 		}

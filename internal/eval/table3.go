@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"sgxnet/internal/obs"
 	"sgxnet/internal/topo"
 	"sgxnet/internal/tor"
 
@@ -25,6 +26,13 @@ type Table3Row struct {
 
 // Table3 runs each design and counts attestations.
 func Table3() ([]Table3Row, error) {
+	return Table3Traced(nil)
+}
+
+// Table3Traced is Table3 with the SDN run on track "table3/sdn", the
+// authority's exit re-scan on "table3/tor-authority", and middlebox
+// provisioning on "table3/middlebox".
+func Table3Traced(tr *obs.Trace) ([]Table3Row, error) {
 	var rows []Table3Row
 
 	// Inter-domain routing: one attestation per AS controller.
@@ -32,7 +40,7 @@ func Table3() ([]Table3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := sdnctl.RunSGX(tp)
+	rep, err := sdnctl.RunSGXTraced(tp, tr, "table3/sdn")
 	if err != nil {
 		return nil, err
 	}
@@ -60,6 +68,7 @@ func Table3() ([]Table3Row, error) {
 	// authority's ongoing verification of reachable exits, so re-scan
 	// just the exits.
 	auth := tn.Auths[0]
+	auth.SetTrace(tr, "table3/tor-authority")
 	before := auth.Attestations
 	for _, o := range tn.ORs {
 		if o.Exit {
@@ -92,7 +101,7 @@ func Table3() ([]Table3Row, error) {
 
 	// Middlebox: one attestation per in-path middlebox (counted by the
 	// middlebox tests as well; here by formula with scale 2).
-	mbAttests, err := middleboxAttestations(2)
+	mbAttests, err := middleboxAttestations(tr, "table3/middlebox", 2)
 	if err != nil {
 		return nil, err
 	}

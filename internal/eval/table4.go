@@ -38,13 +38,24 @@ func Table4At(n int) (*Table4Result, error) {
 // build disjoint networks and meters, so their tallies are identical to
 // a serial run.
 func (r *Runner) Table4At(n int) (*Table4Result, error) {
+	return r.table4At(n, fmt.Sprintf("table4/n=%d", n))
+}
+
+// table4At is Table4At on an explicit track namespace, so Table 4 and a
+// Figure 3 point at the same AS count never collide in one trace. The
+// native and SGX legs get distinct tracks — they may run concurrently.
+func (r *Runner) table4At(n int, trackBase string) (*Table4Result, error) {
 	tp, err := topo.Random(topo.Config{N: n, Seed: CanonicalSeed, PrefJitter: true})
 	if err != nil {
 		return nil, err
 	}
 	native, sgx, err := pair(r,
-		func() (*sdnctl.RunReport, error) { return sdnctl.RunNative(tp) },
-		func() (*sdnctl.RunReport, error) { return sdnctl.RunSGX(tp) },
+		func() (*sdnctl.RunReport, error) {
+			return sdnctl.RunNativeTraced(tp, r.trace, trackBase+"/native")
+		},
+		func() (*sdnctl.RunReport, error) {
+			return sdnctl.RunSGXTraced(tp, r.trace, trackBase+"/sgx")
+		},
 	)
 	if err != nil {
 		return nil, err
@@ -93,7 +104,7 @@ func (r *Runner) Figure3(ns []int) ([]Figure3Point, error) {
 		ns = []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
 	}
 	return mapOrdered(r, len(ns), func(i int) (Figure3Point, error) {
-		res, err := r.Table4At(ns[i])
+		res, err := r.table4At(ns[i], fmt.Sprintf("fig3/n=%d", ns[i]))
 		if err != nil {
 			return Figure3Point{}, err
 		}

@@ -82,6 +82,24 @@ type FaultStats struct {
 	Restarts    uint64
 }
 
+// FaultObserver receives one notification per engine intervention,
+// tagged with the intervention kind ("drop", "dup", "corrupt",
+// "reorder", "delay", "partition", "crash", "restart"), the directed
+// link (crash/restart carry the host in from, empty to), and the
+// virtual-clock tick it fired on. Together with the schedule's String()
+// recipe this is enough to replay the run: the recipe rebuilds the
+// decision streams, the tick pins each event to the message clock.
+//
+// The interface is structural so the observability layer can satisfy
+// it without netsim importing it; obs.FaultRecorder is the canonical
+// implementation. Observers are called from network goroutines and must
+// be safe for concurrent use.
+type FaultObserver interface {
+	FaultEvent(kind, from, to string, tick uint64)
+}
+
+type faultObsHolder struct{ o FaultObserver }
+
 // FaultSchedule is a deterministic, seeded disturbance plan for a
 // Network. Build one with NewFaultSchedule, add rules, then install it
 // with Network.SetFaults before traffic starts.
@@ -104,6 +122,25 @@ type FaultSchedule struct {
 	partitioned atomic.Uint64
 	crashCount  atomic.Uint64
 	restarts    atomic.Uint64
+
+	observer atomic.Pointer[faultObsHolder]
+}
+
+// SetObserver installs (or, with nil, removes) the intervention
+// observer. Install it together with the schedule, before traffic
+// starts, so no intervention goes unrecorded.
+func (s *FaultSchedule) SetObserver(o FaultObserver) {
+	if o == nil {
+		s.observer.Store(nil)
+		return
+	}
+	s.observer.Store(&faultObsHolder{o: o})
+}
+
+func (s *FaultSchedule) notify(kind, from, to string, tick uint64) {
+	if h := s.observer.Load(); h != nil {
+		h.o.FaultEvent(kind, from, to, tick)
+	}
 }
 
 type crashState struct {
@@ -287,11 +324,13 @@ func (s *FaultSchedule) advance(n *Network) uint64 {
 		if tick >= c.AtMessage && c.crashed.CompareAndSwap(false, true) {
 			n.Crash(c.Host)
 			s.crashCount.Add(1)
+			s.notify("crash", c.Host, "", tick)
 		}
 		if c.RestartAfter > 0 && tick >= c.AtMessage+c.RestartAfter &&
 			c.crashed.Load() && c.restarted.CompareAndSwap(false, true) {
 			n.Restart(c.Host)
 			s.restarts.Add(1)
+			s.notify("restart", c.Host, "", tick)
 		}
 	}
 	return tick
@@ -312,6 +351,7 @@ func (s *FaultSchedule) process(n *Network, from, to string, payload []byte, del
 	if s.isPartitioned(tick, from, to) {
 		s.partitioned.Add(1)
 		s.dropped.Add(1)
+		s.notify("partition", from, to, tick)
 		return false
 	}
 
@@ -343,6 +383,7 @@ func (s *FaultSchedule) process(n *Network, from, to string, payload []byte, del
 	if drop {
 		ls.mu.Unlock()
 		s.dropped.Add(1)
+		s.notify("drop", from, to, tick)
 		if prev != nil {
 			prev.deliver(prev.payload)
 		}
@@ -364,6 +405,7 @@ func (s *FaultSchedule) process(n *Network, from, to string, payload []byte, del
 		}
 		payload[idx] ^= 0x40
 		s.corrupted.Add(1)
+		s.notify("corrupt", from, to, tick)
 	}
 	if dup {
 		orig := deliver
@@ -372,6 +414,7 @@ func (s *FaultSchedule) process(n *Network, from, to string, payload []byte, del
 			orig(append([]byte(nil), p...))
 		}
 		s.duplicated.Add(1)
+		s.notify("dup", from, to, tick)
 	}
 
 	if reorder {
@@ -391,6 +434,7 @@ func (s *FaultSchedule) process(n *Network, from, to string, payload []byte, del
 		ls.held = h
 		ls.mu.Unlock()
 		s.reordered.Add(1)
+		s.notify("reorder", from, to, tick)
 		return false
 	}
 
@@ -408,6 +452,7 @@ func (s *FaultSchedule) process(n *Network, from, to string, payload []byte, del
 	ls.enqueue(delayedMsg{payload: payload, deliver: deliver, release: time.Now().Add(delay)})
 	ls.mu.Unlock()
 	s.delayed.Add(1)
+	s.notify("delay", from, to, tick)
 	return false
 }
 

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"sgxnet/internal/core"
+)
+
+// Trace analysis: replays the event stream per track, reconstructing
+// the span tree, and attributes each track's reported run total to
+// named spans. This is what sgxnet-trace builds its cost-attribution
+// tables from, and what the ≥95%-attribution acceptance test measures.
+
+// SpanStat is one closed span, reconstructed from its B/E pair.
+type SpanStat struct {
+	Track string
+	Name  string
+	Depth int
+	Begin uint64 // track clock at open
+	End   uint64 // track clock at close
+	Delta core.Tally
+	Self  core.Tally // Delta minus direct children's deltas (exclusive cost)
+	Leaf  bool
+}
+
+// TrackStat aggregates one track.
+type TrackStat struct {
+	Name       string
+	HasTotal   bool       // the run reported an independent total ("T" record)
+	Total      core.Tally // that total (or Attributed when absent)
+	Attributed core.Tally // sum of depth-0 span deltas
+	Spans      []SpanStat
+	Instants   int
+}
+
+// Residual is the unattributed part of the track's total.
+func (t *TrackStat) Residual() core.Tally { return t.Total.Sub(t.Attributed) }
+
+// Analysis is the digest of a full trace.
+type Analysis struct {
+	Tracks  []TrackStat // sorted by track name
+	Metrics []Metric    // "M" records, in stream order
+
+	// CoveredTotal / CoveredAttr sum Total and Attributed over tracks
+	// that carry an independent total — the honest attribution check:
+	// span sums measured against run-reported numbers, not themselves.
+	CoveredTotal core.Tally
+	CoveredAttr  core.Tally
+}
+
+// Coverage is the fraction of independently-reported cycles the spans
+// explain (1 when the trace carries no totals to check against).
+func (a *Analysis) Coverage() float64 {
+	if a.CoveredTotal.Cycles() == 0 {
+		return 1
+	}
+	c := float64(a.CoveredAttr.Cycles()) / float64(a.CoveredTotal.Cycles())
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// openSpan is the analyzer's replay-stack entry.
+type openSpan struct {
+	name     string
+	depth    int
+	begin    uint64
+	childSum core.Tally
+	hadChild bool
+}
+
+// Analyze reconstructs span statistics from an event stream. Malformed
+// traces are analyzed best-effort; run Check first for validation.
+func Analyze(events []Event) *Analysis {
+	byTrack := make(map[string][]Event)
+	var names []string
+	for _, ev := range events {
+		if _, ok := byTrack[ev.Track]; !ok {
+			names = append(names, ev.Track)
+		}
+		byTrack[ev.Track] = append(byTrack[ev.Track], ev)
+	}
+	sort.Strings(names)
+
+	a := &Analysis{}
+	for _, name := range names {
+		ts := TrackStat{Name: name}
+		var stack []openSpan
+		for _, ev := range byTrack[name] {
+			switch ev.Ph {
+			case PhaseBegin:
+				if len(stack) > 0 {
+					stack[len(stack)-1].hadChild = true
+				}
+				stack = append(stack, openSpan{name: ev.Name, depth: ev.Depth, begin: ev.TS})
+			case PhaseEnd:
+				if len(stack) == 0 {
+					continue
+				}
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				delta := core.Tally{SGXU: ev.SGXU, Normal: ev.Normal}
+				ts.Spans = append(ts.Spans, SpanStat{
+					Track: name, Name: top.name, Depth: top.depth,
+					Begin: top.begin, End: ev.TS,
+					Delta: delta, Self: delta.Sub(top.childSum), Leaf: !top.hadChild,
+				})
+				if len(stack) > 0 {
+					stack[len(stack)-1].childSum = stack[len(stack)-1].childSum.Add(delta)
+				} else {
+					ts.Attributed = ts.Attributed.Add(delta)
+				}
+			case PhaseInstant:
+				ts.Instants++
+			case PhaseTotal:
+				ts.HasTotal = true
+				ts.Total = ts.Total.Add(core.Tally{SGXU: ev.SGXU, Normal: ev.Normal})
+			case PhaseMetric:
+				a.Metrics = append(a.Metrics, Metric{Name: ev.Name, Value: ev.Value})
+			}
+		}
+		if !ts.HasTotal {
+			ts.Total = ts.Attributed
+		} else {
+			a.CoveredTotal = a.CoveredTotal.Add(ts.Total)
+			a.CoveredAttr = a.CoveredAttr.Add(ts.Attributed)
+		}
+		if len(ts.Spans) > 0 || ts.HasTotal || ts.Instants > 0 {
+			a.Tracks = append(a.Tracks, ts)
+		}
+	}
+	return a
+}
+
+// Check validates trace well-formedness: dense per-track sequence
+// numbers, monotone timestamps, LIFO-matched span begin/end pairs with
+// consistent depths, and no spans left open. It returns every problem
+// found (nil for a clean trace).
+func Check(events []Event) []error {
+	byTrack := make(map[string][]Event)
+	var names []string
+	for _, ev := range events {
+		if _, ok := byTrack[ev.Track]; !ok {
+			names = append(names, ev.Track)
+		}
+		byTrack[ev.Track] = append(byTrack[ev.Track], ev)
+	}
+	sort.Strings(names)
+
+	var errs []error
+	bad := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+	for _, name := range names {
+		evs := byTrack[name]
+		var lastTS uint64
+		type open struct {
+			name  string
+			depth int
+			ts    uint64
+		}
+		var stack []open
+		for i, ev := range evs {
+			if ev.Seq != uint64(i) {
+				bad("track %q: event %d has seq %d (sequence not dense)", name, i, ev.Seq)
+			}
+			if ev.Ph != PhaseMetric && ev.TS < lastTS {
+				bad("track %q: event %d (%s %q) ts %d < previous %d (clock ran backwards)",
+					name, i, ev.Ph, ev.Name, ev.TS, lastTS)
+			}
+			if ev.Ph != PhaseMetric {
+				lastTS = ev.TS
+			}
+			switch ev.Ph {
+			case PhaseBegin:
+				if ev.Depth != len(stack) {
+					bad("track %q: span %q opens at depth %d, expected %d", name, ev.Name, ev.Depth, len(stack))
+				}
+				stack = append(stack, open{name: ev.Name, depth: ev.Depth, ts: ev.TS})
+			case PhaseEnd:
+				if len(stack) == 0 {
+					bad("track %q: span %q ends with no open span", name, ev.Name)
+					continue
+				}
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if top.name != ev.Name || top.depth != ev.Depth {
+					bad("track %q: span end %q/depth %d does not match open span %q/depth %d (not LIFO)",
+						name, ev.Name, ev.Depth, top.name, top.depth)
+				}
+				if ev.TS < top.ts {
+					bad("track %q: span %q ends at %d before it began at %d", name, ev.Name, ev.TS, top.ts)
+				}
+				if got := core.CyclesOf(ev.SGXU, ev.Normal); ev.Cycles != got {
+					bad("track %q: span %q cycles %d inconsistent with tallies (want %d)",
+						name, ev.Name, ev.Cycles, got)
+				}
+			case PhaseInstant, PhaseTotal, PhaseMetric:
+				// no structural constraints
+			default:
+				bad("track %q: event %d has unknown phase %q", name, i, ev.Ph)
+			}
+		}
+		for _, o := range stack {
+			bad("track %q: span %q (depth %d) never ended", name, o.name, o.depth)
+		}
+	}
+	return errs
+}
+
+// PhaseRow is one line of a per-phase cost attribution table: all
+// spans with the same name on a track, exclusive (self) costs summed
+// so phases never double-count their children.
+type PhaseRow struct {
+	Name  string
+	Count int
+	Self  core.Tally
+}
+
+// Phases aggregates a track's spans by name, ordered by descending
+// self cycles (ties broken by name for determinism).
+func (t *TrackStat) Phases() []PhaseRow {
+	idx := make(map[string]int)
+	var rows []PhaseRow
+	for _, s := range t.Spans {
+		i, ok := idx[s.Name]
+		if !ok {
+			i = len(rows)
+			idx[s.Name] = i
+			rows = append(rows, PhaseRow{Name: s.Name})
+		}
+		rows[i].Count++
+		rows[i].Self = rows[i].Self.Add(s.Self)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ci, cj := rows[i].Self.Cycles(), rows[j].Self.Cycles()
+		if ci != cj {
+			return ci > cj
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// TopSpans returns the n spans with the largest SGX-instruction deltas
+// across all tracks (ties broken by cycles, then track/name).
+func (a *Analysis) TopSpans(n int) []SpanStat {
+	var all []SpanStat
+	for _, t := range a.Tracks {
+		all = append(all, t.Spans...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Delta.SGXU != all[j].Delta.SGXU {
+			return all[i].Delta.SGXU > all[j].Delta.SGXU
+		}
+		if ci, cj := all[i].Delta.Cycles(), all[j].Delta.Cycles(); ci != cj {
+			return ci > cj
+		}
+		if all[i].Track != all[j].Track {
+			return all[i].Track < all[j].Track
+		}
+		return all[i].Name < all[j].Name
+	})
+	if n < len(all) {
+		all = all[:n]
+	}
+	return all
+}

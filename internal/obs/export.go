@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Exporters. Both formats are deterministic: events come from
+// Trace.Events() in (track, seq) order, struct field order is fixed,
+// and encoding/json sorts map keys.
+
+// WriteJSONL writes the trace as one JSON event per line — the format
+// sgxnet-trace reads back.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace produced by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: event %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON
+// Array Format"), viewable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Timestamps are nominally microseconds; we emit the
+// virtual clock's estimated cycles unscaled, so durations read as
+// cycles directly in the viewer.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant scope
+	Args map[string]any `json:"args,omitempty"` // tally deltas, attrs
+}
+
+// WriteChrome writes the trace in Chrome trace-event JSON. Each track
+// becomes a named thread (tid assigned in sorted-track order); spans
+// become B/E pairs, instant events become thread-scoped instants, and
+// Total/Metric records become args on summary instants so they survive
+// the round trip into a viewer.
+func WriteChrome(w io.Writer, events []Event) error {
+	tids := make(map[string]int)
+	var names []string
+	for i := range events {
+		if _, ok := tids[events[i].Track]; !ok {
+			tids[events[i].Track] = 0
+			names = append(names, events[i].Track)
+		}
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		tids[name] = i + 1
+	}
+
+	out := make([]chromeEvent, 0, len(events)+len(names))
+	for i, name := range names {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: i + 1,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for i := range events {
+		ev := &events[i]
+		ce := chromeEvent{Name: ev.Name, TS: ev.TS, PID: 1, TID: tids[ev.Track]}
+		switch ev.Ph {
+		case PhaseBegin:
+			ce.Ph = "B"
+		case PhaseEnd:
+			ce.Ph = "E"
+			ce.Args = map[string]any{"sgxu": ev.SGXU, "normal": ev.Normal, "cycles": ev.Cycles}
+		case PhaseInstant:
+			ce.Ph = "i"
+			ce.S = "t"
+			if len(ev.Attrs) > 0 {
+				ce.Args = map[string]any{}
+				for k, v := range ev.Attrs {
+					ce.Args[k] = v
+				}
+			}
+		case PhaseTotal:
+			ce.Ph = "i"
+			ce.S = "t"
+			ce.Args = map[string]any{"sgxu": ev.SGXU, "normal": ev.Normal, "cycles": ev.Cycles}
+		case PhaseMetric:
+			ce.Ph = "C" // counter sample
+			ce.Args = map[string]any{"value": ev.Value}
+		default:
+			continue
+		}
+		out = append(out, ce)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i := range out {
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(&out[i])
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,49 @@
+package obs
+
+import "strconv"
+
+// FaultRecorder bridges the netsim fault engine into a trace: it
+// satisfies netsim.FaultObserver (structurally — netsim does not import
+// this package) and records every intervention as an instant event
+// "fault.<kind>" with the directed link and virtual-clock tick, plus
+// the schedule's replay recipe as a "fault.schedule" event. A trace of
+// a failing fuzz or property run therefore carries everything needed
+// to reproduce it: the recipe rebuilds the per-link decision streams
+// and the ticks pin each intervention to the message clock.
+//
+// Interventions fire on network goroutines, so their arrival order on
+// the track reflects real interleaving — faulty runs are excluded from
+// byte-identical goldens for the same reason they are excluded from
+// golden tables (wall-clock delays), but every event is still stamped
+// with the deterministic tick that replays it.
+type FaultRecorder struct {
+	T     *Trace
+	Track string
+}
+
+// RecordSchedule logs a schedule's replay recipe (its String()) and
+// seed before traffic starts.
+func (f *FaultRecorder) RecordSchedule(seed int64, recipe string) {
+	if f == nil {
+		return
+	}
+	f.T.Event(f.Track, "fault.schedule", map[string]string{
+		"seed":   strconv.FormatInt(seed, 10),
+		"recipe": recipe,
+	})
+}
+
+// FaultEvent implements netsim.FaultObserver.
+func (f *FaultRecorder) FaultEvent(kind, from, to string, tick uint64) {
+	if f == nil {
+		return
+	}
+	attrs := map[string]string{"tick": strconv.FormatUint(tick, 10)}
+	if from != "" {
+		attrs["from"] = from
+	}
+	if to != "" {
+		attrs["to"] = to
+	}
+	f.T.Event(f.Track, "fault."+kind, attrs)
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"sgxnet/internal/core"
+)
+
+// chargeSpan opens a span on tr, charges the meter, and closes it.
+func chargeSpan(tr *Trace, track, name string, m *core.Meter, sgxu, normal uint64) {
+	s := tr.Begin(track, name, m)
+	m.ChargeSGX(sgxu)
+	m.ChargeNormal(normal)
+	s.End()
+}
+
+func TestSpanDeltaAndClock(t *testing.T) {
+	tr := New(nil)
+	m := core.NewMeter()
+	chargeSpan(tr, "t", "a", m, 2, 100)
+	chargeSpan(tr, "t", "b", m, 0, 50)
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	wantA := core.CyclesOf(2, 100)
+	if evs[1].Ph != PhaseEnd || evs[1].SGXU != 2 || evs[1].Normal != 100 || evs[1].TS != wantA {
+		t.Errorf("span a end = %+v, want delta {2 100} at ts %d", evs[1], wantA)
+	}
+	// The clock advanced: span b begins where a ended.
+	if evs[2].TS != wantA {
+		t.Errorf("span b begins at %d, want %d", evs[2].TS, wantA)
+	}
+	if wantB := wantA + core.CyclesOf(0, 50); evs[3].TS != wantB {
+		t.Errorf("span b ends at %d, want %d", evs[3].TS, wantB)
+	}
+}
+
+func TestAggregateSpanSumsChildren(t *testing.T) {
+	tr := New(nil)
+	m := core.NewMeter()
+	outer := tr.Begin("t", "outer") // no meters: aggregate
+	chargeSpan(tr, "t", "c1", m, 1, 10)
+	chargeSpan(tr, "t", "c2", m, 0, 20)
+	outer.End()
+	evs := tr.Events()
+	end := evs[len(evs)-1]
+	if end.Name != "outer" || end.SGXU != 1 || end.Normal != 30 {
+		t.Errorf("aggregate end = %+v, want delta {1 30}", end)
+	}
+	if errs := Check(evs); len(errs) > 0 {
+		t.Errorf("Check: %v", errs)
+	}
+}
+
+func TestNestedMeteredSpansDoNotDoubleCount(t *testing.T) {
+	tr := New(nil)
+	m := core.NewMeter()
+	outer := tr.Begin("t", "outer", m) // metered parent
+	chargeSpan(tr, "t", "inner", m, 0, 40)
+	m.ChargeNormal(60)
+	outer.End()
+	a := Analyze(tr.Events())
+	if len(a.Tracks) != 1 {
+		t.Fatalf("got %d tracks", len(a.Tracks))
+	}
+	// Attribution counts depth-0 spans only: outer's delta is 100, and
+	// inner's 40 are part of it, not added on top.
+	if got := a.Tracks[0].Attributed.Normal; got != 100 {
+		t.Errorf("attributed normal = %d, want 100", got)
+	}
+	for _, s := range a.Tracks[0].Spans {
+		if s.Name == "outer" && s.Self.Normal != 60 {
+			t.Errorf("outer self normal = %d, want 60 (delta minus child)", s.Self.Normal)
+		}
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	s := tr.Begin("t", "x", core.NewMeter())
+	s.End()
+	tr.RecordSpan("t", "y", core.Tally{Normal: 1})
+	tr.Event("t", "z", nil)
+	tr.Total("t", "w", core.Tally{})
+	if evs := tr.Events(); evs != nil {
+		t.Errorf("nil trace produced events: %v", evs)
+	}
+}
+
+func TestRecordSpanAndTotalAttribution(t *testing.T) {
+	tr := New(nil)
+	tr.RecordSpan("t", "setup", core.Tally{SGXU: 3, Normal: 100})
+	tr.RecordSpan("t", "steady", core.Tally{SGXU: 7, Normal: 900})
+	tr.Total("t", "run.total", core.Tally{SGXU: 10, Normal: 1000})
+	a := Analyze(tr.Events())
+	tk := a.Tracks[0]
+	if !tk.HasTotal || tk.Residual() != (core.Tally{}) {
+		t.Errorf("want zero residual, got %+v (total %+v attributed %+v)",
+			tk.Residual(), tk.Total, tk.Attributed)
+	}
+	if a.Coverage() != 1 {
+		t.Errorf("coverage = %v, want 1", a.Coverage())
+	}
+}
+
+func TestEventBumpsRegistry(t *testing.T) {
+	reg := NewRegistry()
+	tr := New(reg)
+	tr.Event("t", "fault.drop", map[string]string{"tick": "7"})
+	tr.Event("t", "fault.drop", nil)
+	if got := reg.Get("event.fault.drop"); got != 2 {
+		t.Errorf("event counter = %d, want 2", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("sgx.instr.EENTER", 5)
+	tr := New(reg)
+	m := core.NewMeter()
+	chargeSpan(tr, "b-track", "x", m, 1, 2)
+	tr.Event("a-track", "i", map[string]string{"k": "v"})
+	want := tr.Events()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip diverges:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEventsSortedByTrack(t *testing.T) {
+	tr := New(nil)
+	tr.Event("zz", "late", nil)
+	tr.Event("aa", "early", nil)
+	evs := tr.Events()
+	if evs[0].Track != "aa" || evs[1].Track != "zz" {
+		t.Errorf("events not sorted by track: %+v", evs)
+	}
+}
+
+func TestCheckCatchesMalformedTraces(t *testing.T) {
+	mk := func(mut func([]Event) []Event) []error {
+		tr := New(nil)
+		m := core.NewMeter()
+		chargeSpan(tr, "t", "a", m, 1, 10)
+		return Check(mut(tr.Events()))
+	}
+	if errs := mk(func(e []Event) []Event { return e }); len(errs) != 0 {
+		t.Errorf("clean trace flagged: %v", errs)
+	}
+	// Unclosed span.
+	if errs := mk(func(e []Event) []Event { return e[:1] }); len(errs) == 0 {
+		t.Error("unclosed span not flagged")
+	}
+	// Broken sequence.
+	if errs := mk(func(e []Event) []Event { e[1].Seq = 9; return e }); len(errs) == 0 {
+		t.Error("sparse sequence not flagged")
+	}
+	// Tally/cycles mismatch.
+	if errs := mk(func(e []Event) []Event { e[1].Cycles++; return e }); len(errs) == 0 {
+		t.Error("cycle inconsistency not flagged")
+	}
+	// Clock running backwards.
+	if errs := mk(func(e []Event) []Event { e[0].TS = e[1].TS + 1; return e }); len(errs) == 0 {
+		t.Error("non-monotone clock not flagged")
+	}
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("epc.ewb", 3)
+	tr := New(reg)
+	m := core.NewMeter()
+	chargeSpan(tr, "t", "a", m, 1, 10)
+	tr.Event("t", "inst", map[string]string{"k": "v"})
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	var phases []string
+	for _, ev := range doc.TraceEvents {
+		phases = append(phases, ev["ph"].(string))
+	}
+	joined := strings.Join(phases, "")
+	for _, want := range []string{"M", "B", "E", "i", "C"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("chrome export missing phase %q (got %q)", want, joined)
+		}
+	}
+}
+
+func TestConcurrentTracksAreIndependent(t *testing.T) {
+	tr := New(NewRegistry())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := core.NewMeter()
+			track := string(rune('a' + i))
+			for j := 0; j < 50; j++ {
+				chargeSpan(tr, track, "work", m, 1, 10)
+				tr.Event(track, "tick", nil)
+			}
+		}(i)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if errs := Check(evs); len(errs) > 0 {
+		t.Fatalf("concurrent trace malformed: %v", errs)
+	}
+	// 8 tracks × 50 × (B+E+I) + 1 metric record ("event.tick").
+	if want := 8*50*3 + 1; len(evs) != want {
+		t.Errorf("got %d events, want %d", len(evs), want)
+	}
+}
+
+func TestFaultRecorderNilSafe(t *testing.T) {
+	var f *FaultRecorder
+	f.RecordSchedule(1, "recipe")
+	f.FaultEvent("drop", "a", "b", 3)
+	rec := &FaultRecorder{T: New(nil), Track: "faults"}
+	rec.RecordSchedule(42, "links=1")
+	rec.FaultEvent("delay", "x", "y", 9)
+	evs := rec.T.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Name != "fault.schedule" || evs[0].Attrs["seed"] != "42" {
+		t.Errorf("schedule event = %+v", evs[0])
+	}
+	if evs[1].Name != "fault.delay" || evs[1].Attrs["tick"] != "9" || evs[1].Attrs["from"] != "x" {
+		t.Errorf("fault event = %+v", evs[1])
+	}
+}

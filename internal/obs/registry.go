@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is the metric layer: named monotonic counters fed by the
+// core instruction probe (per-SGX-instruction-kind counts, enclave
+// transitions, EPC paging and seal events) and by trace instant events
+// (fault injections, retry attempts). Counter *values* are deterministic
+// whenever the simulated workload is — the probe reports how often each
+// modelled event happened, which does not depend on goroutine
+// scheduling — so the final snapshot can appear in golden traces.
+//
+// Registry implements core.Probe; install it with core.SetDefaultProbe
+// (all platforms created afterwards report to it) or per-platform with
+// Platform.SetProbe.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*atomic.Uint64)}
+}
+
+// Observe implements core.Probe: it adds n to the counter named kind.
+func (r *Registry) Observe(kind string, n uint64) { r.Add(kind, n) }
+
+// Add adds n to the named counter, creating it at zero first if needed.
+// Safe for concurrent use; the common case is a read-locked map lookup
+// plus one atomic add.
+func (r *Registry) Add(name string, n uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c == nil {
+		r.mu.Lock()
+		c = r.counters[name]
+		if c == nil {
+			c = new(atomic.Uint64)
+			r.counters[name] = c
+		}
+		r.mu.Unlock()
+	}
+	c.Add(n)
+}
+
+// Get returns the current value of a counter (0 if absent).
+func (r *Registry) Get(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+// Metric is one counter's final value.
+type Metric struct {
+	Name  string
+	Value uint64
+}
+
+// Snapshot returns all counters sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]Metric, 0, len(r.counters))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Value: c.Load()})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"sgxnet/internal/bgp"
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/obs"
 	"sgxnet/internal/topo"
 )
 
@@ -66,7 +67,19 @@ func RunSGX(t *topo.Topology) (*RunReport, error) {
 // live controller and AS-local controllers to extra — for predicate
 // registration/verification (§3.1) or dynamic reconfiguration.
 func RunSGXWithPredicates(t *topo.Topology, extra func(ctl *Controller, locals []*ASLocal) error) (*RunReport, error) {
-	return runSGX(t, nil, nil, extra)
+	return runSGX(t, nil, nil, extra, nil, "")
+}
+
+// RunSGXTraced is RunSGX with spans on the given track: a "setup" span
+// for everything before the steady-state boundary (drained with
+// Meter.SnapshotAndReset so setup and steady tallies partition exactly),
+// then "phase.upload" / "phase.compute" / "phase.fetch" spans over the
+// controller and AS-local meters, and a "run.total" record carrying the
+// tallies the report publishes. The quoting enclave on the controller
+// host gets its own "<track>/qe" track. The track must be private to
+// this run.
+func RunSGXTraced(t *topo.Topology, tr *obs.Trace, track string) (*RunReport, error) {
+	return runSGX(t, nil, nil, nil, tr, track)
 }
 
 // RunSGXFaulted runs the SGX deployment under a fault schedule with every
@@ -74,10 +87,25 @@ func RunSGXWithPredicates(t *topo.Topology, extra func(ctl *Controller, locals [
 // receives time out, and lost channels are re-attested. The schedule is
 // installed before the attestation phase, so it disturbs the entire run.
 func RunSGXFaulted(t *topo.Topology, fs *netsim.FaultSchedule, pol attest.RetryPolicy) (*RunReport, error) {
-	return runSGX(t, fs, &pol, nil)
+	return runSGX(t, fs, &pol, nil, nil, "")
 }
 
-func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy, extra func(ctl *Controller, locals []*ASLocal) error) (*RunReport, error) {
+// RunSGXFaultedTraced is RunSGXFaulted with tracing: in addition to the
+// phase spans, the fault schedule's replay recipe is recorded as a
+// "fault.schedule" event and every engine intervention as a
+// "fault.<kind>" event on "<track>/faults", so the trace of a failing
+// run alone reproduces it (the recipe rebuilds the decision streams,
+// the ticks pin each intervention to the message clock).
+func RunSGXFaultedTraced(t *topo.Topology, fs *netsim.FaultSchedule, pol attest.RetryPolicy, tr *obs.Trace, track string) (*RunReport, error) {
+	if tr != nil && fs != nil {
+		rec := &obs.FaultRecorder{T: tr, Track: track + "/faults"}
+		rec.RecordSchedule(fs.Seed(), fs.String())
+		fs.SetObserver(rec)
+	}
+	return runSGX(t, fs, &pol, nil, tr, track)
+}
+
+func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy, extra func(ctl *Controller, locals []*ASLocal) error, tr *obs.Trace, track string) (*RunReport, error) {
 	n := t.N()
 	net := netsim.New()
 	arch, err := core.NewSigner()
@@ -95,8 +123,14 @@ func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy,
 	if err != nil {
 		return nil, err
 	}
-	if _, err := attest.NewAgent(ctlHost, arch); err != nil {
+	agent, err := attest.NewAgent(ctlHost, arch)
+	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		// The AS-local controllers attest serially, so the controller-host
+		// quoting enclave serves one request at a time — safe on one track.
+		agent.SetTrace(tr, track+"/qe")
 	}
 	signer, err := core.NewSigner()
 	if err != nil {
@@ -144,28 +178,49 @@ func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy,
 			return nil, err
 		}
 		attestations++
+		tr.Event(track, "attest.established", map[string]string{"as": fmt.Sprint(asl.ASN)})
 	}
 
-	// Steady state begins here: reset every meter so launch/attestation
-	// costs are excluded, as in Table 4.
-	ctl.Enclave.Meter().Reset()
+	// Steady state begins here: drain every meter so launch/attestation
+	// costs are excluded, as in Table 4. SnapshotAndReset (not
+	// Snapshot+Reset) guarantees setup and steady tallies partition the
+	// meters' lifetime consumption exactly, which is what lets the trace
+	// attribute the whole run; the drained tallies become the "setup"
+	// span.
+	var setup core.Tally
+	setup = setup.Add(ctl.Enclave.Meter().SnapshotAndReset())
 	for _, asl := range locals {
-		asl.Enclave.Meter().Reset()
+		setup = setup.Add(asl.Enclave.Meter().SnapshotAndReset())
+	}
+	tr.RecordSpan(track, "setup", setup)
+
+	// The steady-state phase spans watch every reported meter, so their
+	// three deltas sum exactly to the tallies the report publishes.
+	meters := make([]*core.Meter, 0, n+1)
+	meters = append(meters, ctl.Enclave.Meter())
+	for _, asl := range locals {
+		meters = append(meters, asl.Enclave.Meter())
 	}
 
+	sp := tr.Begin(track, "phase.upload", meters...)
 	for _, asl := range locals {
 		if err := asl.Upload(); err != nil {
 			return nil, err
 		}
 	}
+	sp.End()
+	sp = tr.Begin(track, "phase.compute", meters...)
 	if err := ctl.Compute(); err != nil {
 		return nil, err
 	}
+	sp.End()
+	sp = tr.Begin(track, "phase.fetch", meters...)
 	for _, asl := range locals {
 		if err := asl.Fetch(); err != nil {
 			return nil, err
 		}
 	}
+	sp.End()
 
 	rep := &RunReport{
 		N:            n,
@@ -181,6 +236,16 @@ func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy,
 		rep.Retries += asl.Retries
 		rep.Reattests += asl.Reattests
 	}
+	if tr != nil {
+		// The independently-reported total the analyzer attributes spans
+		// against: everything the published meters consumed, setup
+		// included.
+		total := setup.Add(rep.InterDomain)
+		for _, t := range rep.ASLocal {
+			total = total.Add(t)
+		}
+		tr.Total(track, "run.total", total)
+	}
 	if fs != nil {
 		rep.FaultStats = fs.Stats()
 	}
@@ -194,6 +259,14 @@ func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy,
 
 // RunNative deploys the baseline on the same workload.
 func RunNative(t *topo.Topology) (*RunReport, error) {
+	return RunNativeTraced(t, nil, "")
+}
+
+// RunNativeTraced is RunNative with the same span structure as
+// RunSGXTraced (setup drain, three phase spans over the reported host
+// meters, run.total record) so native and SGX legs compare phase by
+// phase in sgxnet-trace.
+func RunNativeTraced(t *topo.Topology, tr *obs.Trace, track string) (*RunReport, error) {
 	n := t.N()
 	net := netsim.New()
 	ctlHost, err := net.AddHost("controller", core.PlatformConfig{EPCFrames: 64})
@@ -222,24 +295,38 @@ func RunNative(t *topo.Topology) (*RunReport, error) {
 		}
 	}
 
-	ctlHost.Platform().HostMeter.Reset()
+	var setup core.Tally
+	setup = setup.Add(ctlHost.Platform().HostMeter.SnapshotAndReset())
 	for _, asl := range locals {
-		asl.Host.Platform().HostMeter.Reset()
+		setup = setup.Add(asl.Host.Platform().HostMeter.SnapshotAndReset())
+	}
+	tr.RecordSpan(track, "setup", setup)
+
+	meters := make([]*core.Meter, 0, n+1)
+	meters = append(meters, ctlHost.Platform().HostMeter)
+	for _, asl := range locals {
+		meters = append(meters, asl.Host.Platform().HostMeter)
 	}
 
+	sp := tr.Begin(track, "phase.upload", meters...)
 	for _, asl := range locals {
 		if err := asl.Upload(); err != nil {
 			return nil, err
 		}
 	}
+	sp.End()
+	sp = tr.Begin(track, "phase.compute", meters...)
 	if err := ctl.Compute(); err != nil {
 		return nil, err
 	}
+	sp.End()
+	sp = tr.Begin(track, "phase.fetch", meters...)
 	for _, asl := range locals {
 		if err := asl.Fetch(); err != nil {
 			return nil, err
 		}
 	}
+	sp.End()
 
 	rep := &RunReport{
 		N:           n,
@@ -251,6 +338,13 @@ func RunNative(t *topo.Topology) (*RunReport, error) {
 	for _, asl := range locals {
 		rep.ASLocal = append(rep.ASLocal, asl.Host.Platform().HostMeter.Snapshot())
 		rep.Installed[asl.ASN] = asl.Installed()
+	}
+	if tr != nil {
+		total := setup.Add(rep.InterDomain)
+		for _, t := range rep.ASLocal {
+			total = total.Add(t)
+		}
+		tr.Total(track, "run.total", total)
 	}
 	return rep, nil
 }

@@ -1,0 +1,29 @@
+package sdnctl
+
+import (
+	"encoding/gob"
+	"io"
+
+	"sgxnet/internal/bgp"
+)
+
+// gob assigns wire type IDs process-wide in first-encode order, so the
+// byte length of an encoded message — and with it every per-byte seal
+// and I/O charge downstream — would otherwise depend on which code path
+// reached gob first (test order, worker interleaving). Encoding each
+// wire type once at init pins the IDs in package-initialization order,
+// which the runtime fixes per binary. Pointer fields are populated so
+// the nested types' IDs are assigned here too.
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	for _, v := range []any{
+		PolicyMsg{Neighbors: []NeighborPolicy{{}}},
+		RoutesMsg{Routes: []bgp.Route{{}}},
+		Request{Policy: &PolicyMsg{}, Register: &Predicate{}},
+		Response{Routes: &RoutesMsg{}, Verdict: &Verdict{}},
+	} {
+		if err := enc.Encode(v); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -85,14 +85,33 @@ func deriveKeys(master [32]byte) Keys {
 	return k
 }
 
+// Record-layer probe kinds, observed once per operation.
+const (
+	KindRecordSeal   = "record.seal"   // a record was sealed for the wire
+	KindRecordOpen   = "record.open"   // a record authenticated and decrypted
+	KindRecordReject = "record.reject" // a record failed authentication/framing
+)
+
 // Codec seals and opens records given the key block — usable by the
 // endpoints and by a key-provisioned middlebox alike.
 type Codec struct {
 	keys Keys
+
+	// Probe, when non-nil, is notified once per record operation (the
+	// Kind* constants above). Observations ride outside the meter — they
+	// never charge instructions, so attaching a probe cannot perturb the
+	// cost tables. Set it before the codec carries traffic.
+	Probe core.Probe
 }
 
 // NewCodec builds a record codec over a key block.
 func NewCodec(keys Keys) *Codec { return &Codec{keys: keys} }
+
+func (c *Codec) observe(kind string) {
+	if c.Probe != nil {
+		c.Probe.Observe(kind, 1)
+	}
+}
 
 // ErrRecord reports a failed record authentication or framing error.
 var ErrRecord = errors.New("tlslite: record authentication failed")
@@ -129,6 +148,7 @@ func (c *Codec) sealAppend(m *core.Meter, dst []byte, dir Direction, seq uint64,
 	dst = append(dst, payload...)
 	cipher.XORKeyStreamCTR(m, iv, dst[off:], payload)
 	tag := sgxcrypto.MAC(m, macKey, dst[start:])
+	c.observe(KindRecordSeal)
 	return append(dst, tag[:]...), nil
 }
 
@@ -137,19 +157,23 @@ func (c *Codec) sealAppend(m *core.Meter, dst []byte, dir Direction, seq uint64,
 // record) fails authentication.
 func (c *Codec) Open(m *core.Meter, dir Direction, seq uint64, raw []byte) ([]byte, error) {
 	if len(raw) < recordHeader+32 {
+		c.observe(KindRecordReject)
 		return nil, ErrRecord
 	}
 	body, tag := raw[:len(raw)-32], raw[len(raw)-32:]
 	if Direction(body[0]) != dir || binary.BigEndian.Uint64(body[1:9]) != seq {
+		c.observe(KindRecordReject)
 		return nil, ErrRecord
 	}
 	encKey, macKey := c.dirKeys(dir)
 	want := sgxcrypto.MAC(m, macKey, body)
 	if !hmac.Equal(want[:], tag) {
+		c.observe(KindRecordReject)
 		return nil, ErrRecord
 	}
 	n := binary.BigEndian.Uint32(body[9:13])
 	if int(n) != len(body)-recordHeader {
+		c.observe(KindRecordReject)
 		return nil, ErrRecord
 	}
 	cipher, err := sgxcrypto.NewAES(m, encKey)
@@ -161,6 +185,7 @@ func (c *Codec) Open(m *core.Meter, dir Direction, seq uint64, raw []byte) ([]by
 	binary.BigEndian.PutUint64(iv[8:], seq)
 	out := make([]byte, n)
 	cipher.XORKeyStreamCTR(m, iv, out, body[recordHeader:])
+	c.observe(KindRecordOpen)
 	return out, nil
 }
 
@@ -171,10 +196,12 @@ func (c *Codec) Open(m *core.Meter, dir Direction, seq uint64, raw []byte) ([]by
 // binds the header, so a forged or replayed header still fails.
 func (c *Codec) OpenAny(m *core.Meter, raw []byte) (Direction, uint64, []byte, error) {
 	if len(raw) < recordHeader+32 {
+		c.observe(KindRecordReject)
 		return 0, 0, nil, ErrRecord
 	}
 	dir := Direction(raw[0])
 	if dir != ClientToServer && dir != ServerToClient {
+		c.observe(KindRecordReject)
 		return 0, 0, nil, ErrRecord
 	}
 	seq := binary.BigEndian.Uint64(raw[1:9])

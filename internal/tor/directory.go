@@ -9,6 +9,7 @@ import (
 	"sgxnet/internal/attest"
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/obs"
 )
 
 // Directory authorities (§3.2). Tor runs a small set of authorities that
@@ -51,6 +52,20 @@ type Authority struct {
 	// Attestations counts remote attestations this authority performed
 	// against ORs (Table 3's "Tor network (Authority)" row).
 	Attestations int
+
+	trace   *obs.Trace
+	trTrack string
+}
+
+// SetTrace makes the authority record each OR admission attestation as
+// spans on the given track (carrying the authority enclave's tally
+// delta), plus a "tor.admit" instant per admitted OR. Admissions on one
+// authority are serialized by the callers (deploy and re-scan loops),
+// so the track stays sequential.
+func (a *Authority) SetTrace(tr *obs.Trace, track string) {
+	a.mu.Lock()
+	a.trace, a.trTrack = tr, track
+	a.mu.Unlock()
 }
 
 // dirView is the enclave-private relay list.
@@ -319,16 +334,20 @@ func (a *Authority) AdmitByAttestation(d Descriptor) error {
 	}
 	a.mu.Lock()
 	a.Attestations++
+	tr, track := a.trace, a.trTrack
 	a.mu.Unlock()
-	if _, _, err := attest.Challenge(a.enclave, a.shim, conn, true); err != nil {
+	if _, _, err := attest.ChallengeTrace(tr, track, a.enclave, a.shim, conn, true); err != nil {
 		return fmt.Errorf("tor: OR %s failed attestation: %w", d.Name, err)
 	}
 	raw, err := EncodeAny(d)
 	if err != nil {
 		return err
 	}
-	_, err = a.enclave.Call("dir.admit", raw)
-	return err
+	if _, err := a.enclave.Call("dir.admit", raw); err != nil {
+		return err
+	}
+	tr.Event(track, "tor.admit", map[string]string{"or": d.Name})
+	return nil
 }
 
 // Drop removes an OR from this authority's view.

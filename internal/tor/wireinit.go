@@ -1,0 +1,24 @@
+package tor
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// gob assigns wire type IDs process-wide in first-encode order, so the
+// byte length of an encoded message — and with it every per-byte seal
+// and I/O charge downstream — would otherwise depend on which code path
+// reached gob first (test order, worker interleaving). Encoding each
+// wire type once at init pins the IDs in package-initialization order,
+// which the runtime fixes per binary.
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	for _, v := range []any{
+		Descriptor{},
+		[]Descriptor{{}},
+	} {
+		if err := enc.Encode(v); err != nil {
+			panic(err)
+		}
+	}
+}
