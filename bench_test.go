@@ -161,6 +161,34 @@ func BenchmarkFigure3Scaling(b *testing.B) {
 	}
 }
 
+// BenchmarkEPCSweep regenerates the EPC oversubscription sweep — the
+// multi-tenant paging experiment — at worker counts 1 and GOMAXPROCS,
+// and reports the worst-case (4 tenants, ratio 2.0, CLOCK) per-op
+// overhead as a custom metric so BENCH_results.json tracks the paging
+// penalty over time.
+func BenchmarkEPCSweep(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := eval.NewRunner(workers)
+			b.ReportAllocs()
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				pts, err := r.EPCSweep()
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst = 0
+				for _, p := range pts {
+					if p.Overhead > worst {
+						worst = p.Overhead
+					}
+				}
+			}
+			b.ReportMetric(worst, "worst-overhead-x")
+		})
+	}
+}
+
 // BenchmarkAblationBatching sweeps enclave I/O batch sizes.
 func BenchmarkAblationBatching(b *testing.B) {
 	b.ReportAllocs()

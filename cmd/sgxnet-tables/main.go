@@ -7,6 +7,7 @@
 //	sgxnet-tables -table 1         # one table (1–4)
 //	sgxnet-tables -fig 3           # Figure 3 sweep
 //	sgxnet-tables -ablations       # ablation experiments only
+//	sgxnet-tables -epc-sweep       # EPC oversubscription sweep only
 //	sgxnet-tables -faults          # fault-tolerance sweep (wall-clock sensitive)
 //	sgxnet-tables -workers 8       # evaluation-engine parallelism (0 = GOMAXPROCS)
 //	sgxnet-tables -trace out.trace # also record a deterministic trace (JSONL)
@@ -35,6 +36,7 @@ type options struct {
 	table       int
 	fig         int
 	ablations   bool
+	epcSweep    bool
 	faults      bool
 	csv         bool
 	workers     int    // evaluation-engine parallelism; 0 = GOMAXPROCS
@@ -46,7 +48,7 @@ type options struct {
 // sweep races real timeouts against goroutine scheduling, so its numbers
 // are not byte-reproducible; it only runs on request.
 func (o options) all() bool {
-	return o.table == 0 && o.fig == 0 && !o.ablations && !o.faults
+	return o.table == 0 && o.fig == 0 && !o.ablations && !o.epcSweep && !o.faults
 }
 
 // emit writes the selected sections. Each section is an independent
@@ -149,6 +151,16 @@ func emit(w io.Writer, o options) error {
 			return b.Bytes(), nil
 		})
 	}
+	if o.epcSweep || o.all() {
+		sections = append(sections, section("epc sweep", func(w io.Writer) error {
+			pts, err := r.EPCSweep()
+			if err != nil {
+				return err
+			}
+			eval.RenderEPCSweep(w, pts)
+			return nil
+		}))
+	}
 	if o.faults {
 		sections = append(sections, func() ([]byte, error) {
 			fpts, err := r.FaultTolerance(nil, 0)
@@ -206,6 +218,7 @@ func main() {
 	flag.IntVar(&o.table, "table", 0, "regenerate one table (1-4); 0 = all")
 	flag.IntVar(&o.fig, "fig", 0, "regenerate one figure (3); 0 = all")
 	flag.BoolVar(&o.ablations, "ablations", false, "run only the ablation experiments")
+	flag.BoolVar(&o.epcSweep, "epc-sweep", false, "run only the EPC oversubscription sweep (multi-tenant paging overhead)")
 	flag.BoolVar(&o.faults, "faults", false, "run the fault-tolerance sweep (timing-dependent, excluded from -ablations and the default run)")
 	flag.BoolVar(&o.csv, "csv", false, "emit Figure 3 as CSV (for plotting) instead of the text chart")
 	flag.IntVar(&o.workers, "workers", 0, "evaluation-engine worker pool size; 0 = GOMAXPROCS, 1 = serial")

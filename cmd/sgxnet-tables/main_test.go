@@ -24,6 +24,7 @@ var goldenCases = []struct {
 	{"fig3", options{fig: 3}},
 	{"fig3-csv", options{fig: 3, csv: true}},
 	{"ablations", options{ablations: true}},
+	{"epc-sweep", options{epcSweep: true}},
 }
 
 func golden(name string) string { return filepath.Join("testdata", name+".golden") }
@@ -69,7 +70,7 @@ func TestGolden(t *testing.T) {
 			golden("all"), b.Bytes(), all)
 	}
 	var concat []byte
-	for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "ablations"} {
+	for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "ablations", "epc-sweep"} {
 		sec, err := os.ReadFile(golden(name))
 		if err != nil {
 			t.Fatalf("missing golden (rerun with -update): %v", err)
@@ -105,6 +106,29 @@ func TestParallelSerialEquivalence(t *testing.T) {
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
 		t.Errorf("-workers 8 transcript diverges from -workers 1\nserial:\n%s\nparallel:\n%s",
+			serial.Bytes(), parallel.Bytes())
+	}
+}
+
+// TestEPCSweepWorkersEquivalence is the acceptance gate for the EPC
+// sweep specifically: its transcript must be byte-identical at
+// -workers 1 and -workers 8. (The sweep also rides in the default run,
+// so TestParallelSerialEquivalence covers it there; this test keeps
+// the guarantee even when the sweep is selected alone, and is cheap
+// enough to run under -short.)
+func TestEPCSweepWorkersEquivalence(t *testing.T) {
+	if *update {
+		t.Skip("goldens being rewritten")
+	}
+	var serial, parallel bytes.Buffer
+	if err := emit(&serial, options{epcSweep: true, workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := emit(&parallel, options{epcSweep: true, workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("-epc-sweep at -workers 8 diverges from -workers 1\nserial:\n%s\nparallel:\n%s",
 			serial.Bytes(), parallel.Bytes())
 	}
 }

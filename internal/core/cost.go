@@ -148,6 +148,20 @@ const (
 	CostPageAdd     = 1_800 // EADD + 16×EEXTEND measurement of one 4KiB page
 	CostEnclaveInit = 9_000 // EINIT signature check bookkeeping
 
+	// --- EPC oversubscription (pager) ---
+
+	// CostPageFault is the fixed normal-instruction cost of one EPC
+	// capacity fault excluding the page crypto itself: the asynchronous
+	// exit's state save, the OS fault handler's lookup and dispatch, and
+	// the sanity checks on re-entry. EWB/ELDU charge their own
+	// CostPageEvict/CostPageLoad on top.
+	CostPageFault = 12_000
+
+	// SGXInstPageFault is the AEX + ERESUME pair every EPC fault forces,
+	// mirroring the paper's observation that enclave exits — not the
+	// in-enclave work — are where SGX overhead concentrates.
+	SGXInstPageFault = 2
+
 	// --- Fault tolerance (this repo's extension beyond the paper) ---
 	//
 	// The paper's protocols assume a benign scheduler; hardening them

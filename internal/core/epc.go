@@ -80,6 +80,7 @@ type EPC struct {
 	free     []int
 	sealKey  [32]byte                // MEE key; lives only inside the CPU package
 	versions map[versionKey][32]byte // EWB version tokens (CPU-held)
+	evictSeq map[versionKey]uint64   // per-(enclave,addr) eviction counter (nonce derivation)
 
 	// probe mirrors the owning platform's probe (see Platform.SetProbe)
 	// so paging events are observable without a back-pointer.

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EPC oversubscription. The paper's central resource constraint is that
+// the EPC is small: an enclave working set larger than the EPC pays an
+// encrypted eviction (EWB) and reload (ELDU) on every capacity miss.
+// The Pager is the untrusted OS component that makes oversubscription
+// transparent: it sits between enclaves and the EPC, tracks which of
+// its managed pages are resident, and on a capacity fault evicts a
+// victim under a pluggable replacement policy, reloading evicted pages
+// on touch. Every eviction and reload is charged on the *faulting*
+// enclave's meter — the tenant whose access forced the paging traffic
+// pays for it — which is what lets the multi-tenant sweep attribute
+// paging cost per tenant.
+//
+// The pager manages only pages faulted in through it; enclave
+// infrastructure pages (SECS, TCS, measured image) are never victims.
+// All decisions are deterministic: CLOCK and LRU by construction,
+// random via a seeded xorshift generator, so sweep tallies and paging
+// traces are byte-stable across runs and worker counts.
+
+// PageKey names one pager-managed page: an enclave-relative linear
+// address within its owning enclave.
+type PageKey struct {
+	Enclave EnclaveID
+	Addr    uint64
+}
+
+// VictimPolicy picks which resident page to evict on a capacity fault.
+// Implementations are driven under the pager's lock and need no
+// internal synchronization; they must be deterministic given the same
+// call sequence. The pager guarantees Inserted/Removed pairs bracket a
+// page's residency and Touched is only called while resident.
+type VictimPolicy interface {
+	// Name identifies the policy in tables and traces.
+	Name() string
+	// Inserted records that k became resident.
+	Inserted(k PageKey)
+	// Touched records an access to resident page k.
+	Touched(k PageKey)
+	// Victim returns the page to evict next (false if none resident).
+	// The pager follows up with Removed on the returned key.
+	Victim() (PageKey, bool)
+	// Removed records that k left residency.
+	Removed(k PageKey)
+}
+
+// --- CLOCK (second chance) — the default ---
+
+type clockEntry struct {
+	key PageKey
+	ref bool
+}
+
+type clockPolicy struct {
+	ring []clockEntry
+	hand int
+	pos  map[PageKey]int
+}
+
+// NewClockPolicy returns the CLOCK (second-chance) policy: a ring of
+// resident pages with reference bits; the hand sweeps past referenced
+// pages (clearing the bit) and evicts the first unreferenced one. The
+// standard OS paging compromise between LRU quality and O(1) touches.
+func NewClockPolicy() VictimPolicy {
+	return &clockPolicy{pos: make(map[PageKey]int)}
+}
+
+func (c *clockPolicy) Name() string { return "clock" }
+
+func (c *clockPolicy) Inserted(k PageKey) {
+	c.pos[k] = len(c.ring)
+	c.ring = append(c.ring, clockEntry{key: k, ref: true})
+}
+
+func (c *clockPolicy) Touched(k PageKey) {
+	if i, ok := c.pos[k]; ok {
+		c.ring[i].ref = true
+	}
+}
+
+func (c *clockPolicy) Victim() (PageKey, bool) {
+	if len(c.ring) == 0 {
+		return PageKey{}, false
+	}
+	for {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		e := &c.ring[c.hand]
+		if e.ref {
+			e.ref = false
+			c.hand++
+			continue
+		}
+		return e.key, true
+	}
+}
+
+func (c *clockPolicy) Removed(k PageKey) {
+	i, ok := c.pos[k]
+	if !ok {
+		return
+	}
+	delete(c.pos, k)
+	copy(c.ring[i:], c.ring[i+1:])
+	c.ring = c.ring[:len(c.ring)-1]
+	for j := i; j < len(c.ring); j++ {
+		c.pos[c.ring[j].key] = j
+	}
+	if c.hand > i {
+		c.hand--
+	}
+}
+
+// --- LRU ---
+
+type lruPolicy struct {
+	order []PageKey // front = least recently used
+	pos   map[PageKey]int
+}
+
+// NewLRUPolicy returns exact least-recently-used replacement — the
+// quality ceiling CLOCK approximates, at O(n) per touch here (EPCs in
+// the sweep are small; the ablation cares about miss counts, not
+// bookkeeping speed).
+func NewLRUPolicy() VictimPolicy {
+	return &lruPolicy{pos: make(map[PageKey]int)}
+}
+
+func (l *lruPolicy) Name() string { return "lru" }
+
+func (l *lruPolicy) Inserted(k PageKey) {
+	l.pos[k] = len(l.order)
+	l.order = append(l.order, k)
+}
+
+func (l *lruPolicy) Touched(k PageKey) {
+	i, ok := l.pos[k]
+	if !ok || i == len(l.order)-1 {
+		return
+	}
+	copy(l.order[i:], l.order[i+1:])
+	l.order[len(l.order)-1] = k
+	for j := i; j < len(l.order); j++ {
+		l.pos[l.order[j]] = j
+	}
+}
+
+func (l *lruPolicy) Victim() (PageKey, bool) {
+	if len(l.order) == 0 {
+		return PageKey{}, false
+	}
+	return l.order[0], true
+}
+
+func (l *lruPolicy) Removed(k PageKey) {
+	i, ok := l.pos[k]
+	if !ok {
+		return
+	}
+	delete(l.pos, k)
+	copy(l.order[i:], l.order[i+1:])
+	l.order = l.order[:len(l.order)-1]
+	for j := i; j < len(l.order); j++ {
+		l.pos[l.order[j]] = j
+	}
+}
+
+// --- seeded random ---
+
+type randomPolicy struct {
+	order []PageKey // insertion order — a deterministic universe to draw from
+	pos   map[PageKey]int
+	state uint64
+}
+
+// NewRandomPolicy returns uniform random replacement driven by a seeded
+// xorshift64 generator: the ablation baseline with no recency signal.
+// The same seed and fault sequence always evict the same victims, so
+// random-policy sweep points stay byte-reproducible.
+func NewRandomPolicy(seed uint64) VictimPolicy {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &randomPolicy{pos: make(map[PageKey]int), state: seed}
+}
+
+func (r *randomPolicy) Name() string { return "random" }
+
+func (r *randomPolicy) Inserted(k PageKey) {
+	r.pos[k] = len(r.order)
+	r.order = append(r.order, k)
+}
+
+func (r *randomPolicy) Touched(PageKey) {}
+
+func (r *randomPolicy) Victim() (PageKey, bool) {
+	if len(r.order) == 0 {
+		return PageKey{}, false
+	}
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.order[r.state%uint64(len(r.order))], true
+}
+
+func (r *randomPolicy) Removed(k PageKey) {
+	i, ok := r.pos[k]
+	if !ok {
+		return
+	}
+	delete(r.pos, k)
+	copy(r.order[i:], r.order[i+1:])
+	r.order = r.order[:len(r.order)-1]
+	for j := i; j < len(r.order); j++ {
+		r.pos[r.order[j]] = j
+	}
+}
+
+// PagerStats is a snapshot of one pager's (or one enclave's) paging
+// counters. Touches = Hits + Faults; Faults = Reloads + DemandZero.
+type PagerStats struct {
+	Hits       uint64 // accesses to resident pages (free)
+	Faults     uint64 // accesses that missed the EPC
+	Reloads    uint64 // faults served by ELDU of an evicted page
+	DemandZero uint64 // faults served by allocating a fresh zero page
+	Evictions  uint64 // victims pushed out via EWB to make room
+	Resident   int    // pager-managed pages currently in the EPC
+	Peak       int    // high-water mark of Resident
+}
+
+type pagerResident struct {
+	idx int // EPC frame
+}
+
+// Pager provides transparent EPC oversubscription for the data pages of
+// one platform's enclaves. Safe for concurrent use: tenants fault
+// through a single shared pager.
+type Pager struct {
+	mu       sync.Mutex
+	epc      *EPC
+	policy   VictimPolicy
+	resident map[PageKey]pagerResident
+	evicted  map[PageKey]*EvictedPage // the untrusted OS's blob store
+	stats    PagerStats
+	byTenant map[EnclaveID]*PagerStats
+}
+
+// NewPager builds a pager over the given EPC. A nil policy selects
+// CLOCK, the default.
+func NewPager(epc *EPC, policy VictimPolicy) *Pager {
+	if policy == nil {
+		policy = NewClockPolicy()
+	}
+	return &Pager{
+		epc:      epc,
+		policy:   policy,
+		resident: make(map[PageKey]pagerResident),
+		evicted:  make(map[PageKey]*EvictedPage),
+		byTenant: make(map[EnclaveID]*PagerStats),
+	}
+}
+
+// Policy returns the active replacement policy.
+func (pg *Pager) Policy() VictimPolicy { return pg.policy }
+
+// ErrPagerNoVictim is returned when the EPC is full and the pager
+// manages no resident page it could evict (the EPC is exhausted by
+// unmanaged enclave infrastructure pages).
+var ErrPagerNoVictim = fmt.Errorf("core: pager: EPC full and no evictable page resident")
+
+// Touch faults the page (owner, addr) into residency if needed and
+// records the access with the replacement policy. It returns true when
+// the access faulted (the page was not resident). Fault handling — the
+// AEX/ERESUME round trip, any eviction to make room, and the reload or
+// demand-zero allocation — is charged on m, the faulting enclave's
+// meter.
+func (pg *Pager) Touch(m *Meter, owner EnclaveID, addr uint64) (bool, error) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	k := PageKey{Enclave: owner, Addr: addr}
+	if _, ok := pg.resident[k]; ok {
+		pg.policy.Touched(k)
+		pg.stats.Hits++
+		pg.tenant(owner).Hits++
+		pg.epc.observe(KindPagerHit, 1)
+		return false, nil
+	}
+	if err := pg.fault(m, k); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// Read faults the page in (if needed) and returns its plaintext on
+// behalf of the owning enclave.
+func (pg *Pager) Read(m *Meter, owner EnclaveID, addr uint64) ([]byte, error) {
+	if _, err := pg.Touch(m, owner, addr); err != nil {
+		return nil, err
+	}
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	r, ok := pg.resident[PageKey{Enclave: owner, Addr: addr}]
+	if !ok {
+		return nil, ErrEPCAccess
+	}
+	return pg.epc.Read(owner, r.idx)
+}
+
+// Write faults the page in (if needed) and replaces its plaintext on
+// behalf of the owning enclave.
+func (pg *Pager) Write(m *Meter, owner EnclaveID, addr uint64, data []byte) error {
+	if _, err := pg.Touch(m, owner, addr); err != nil {
+		return err
+	}
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	r, ok := pg.resident[PageKey{Enclave: owner, Addr: addr}]
+	if !ok {
+		return ErrEPCAccess
+	}
+	return pg.epc.Write(owner, r.idx, data)
+}
+
+// fault brings k into residency. Caller holds pg.mu.
+func (pg *Pager) fault(m *Meter, k PageKey) error {
+	pg.stats.Faults++
+	ts := pg.tenant(k.Enclave)
+	ts.Faults++
+	pg.epc.observe(KindPagerFault, 1)
+	// The faulting access itself: asynchronous exit out of the enclave,
+	// OS fault handler, ERESUME back in.
+	m.ChargeSGX(SGXInstPageFault)
+	m.ChargeNormal(CostPageFault)
+
+	// Make room. EWB appends the freed frame under the EPC's own lock,
+	// and nothing else allocates between our eviction and the reload
+	// below while pg.mu is held by us — other pager tenants serialize on
+	// it. (Non-pager allocations racing the gap surface as ErrEPCFull
+	// from Alloc/ELDU below and propagate to the caller.)
+	for pg.epc.FreeCount() == 0 {
+		vk, ok := pg.policy.Victim()
+		if !ok {
+			return ErrPagerNoVictim
+		}
+		vr := pg.resident[vk]
+		ev, err := pg.epc.EWB(m, vr.idx)
+		if err != nil {
+			return fmt.Errorf("core: pager evict %v: %w", vk, err)
+		}
+		pg.policy.Removed(vk)
+		delete(pg.resident, vk)
+		pg.evicted[vk] = ev
+		pg.stats.Evictions++
+		pg.stats.Resident--
+		ts.Evictions++
+		pg.epc.observe(KindPagerEvict, 1)
+	}
+
+	if ev, ok := pg.evicted[k]; ok {
+		idx, err := pg.epc.ELDU(m, ev)
+		if err != nil {
+			return fmt.Errorf("core: pager reload %v: %w", k, err)
+		}
+		delete(pg.evicted, k)
+		pg.resident[k] = pagerResident{idx: idx}
+		pg.stats.Reloads++
+		ts.Reloads++
+		pg.epc.observe(KindPagerReload, 1)
+	} else {
+		// First touch: demand-zero allocation of a fresh data page,
+		// charged like the EADD it models.
+		idx, err := pg.epc.Alloc(k.Enclave, PageREG, k.Addr, PermR|PermW, nil)
+		if err != nil {
+			return fmt.Errorf("core: pager demand-zero %v: %w", k, err)
+		}
+		m.ChargeNormal(CostPageAdd)
+		pg.resident[k] = pagerResident{idx: idx}
+		pg.stats.DemandZero++
+		ts.DemandZero++
+		pg.epc.observe(KindPagerDemandZero, 1)
+	}
+	pg.policy.Inserted(k)
+	pg.stats.Resident++
+	if pg.stats.Resident > pg.stats.Peak {
+		pg.stats.Peak = pg.stats.Resident
+	}
+	return nil
+}
+
+// tenant returns the per-enclave stats record, creating it on first
+// use. Caller holds pg.mu.
+func (pg *Pager) tenant(id EnclaveID) *PagerStats {
+	ts := pg.byTenant[id]
+	if ts == nil {
+		ts = &PagerStats{}
+		pg.byTenant[id] = ts
+	}
+	return ts
+}
+
+// Stats returns a snapshot of the pager-wide counters.
+func (pg *Pager) Stats() PagerStats {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	return pg.stats
+}
+
+// TenantStats returns the counters attributed to one enclave. Resident
+// and Peak are pager-wide quantities and stay zero here.
+func (pg *Pager) TenantStats(id EnclaveID) PagerStats {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if ts := pg.byTenant[id]; ts != nil {
+		return *ts
+	}
+	return PagerStats{}
+}
+
+// Release drops every page (resident or evicted) belonging to the
+// enclave: frames are freed without eviction, blobs are discarded. The
+// pager-side half of enclave teardown (EREMOVE frees the frames the
+// enclave still holds; Release forgets the pager's bookkeeping).
+func (pg *Pager) Release(id EnclaveID) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	for k := range pg.resident {
+		if k.Enclave == id {
+			pg.policy.Removed(k)
+			delete(pg.resident, k)
+			pg.stats.Resident--
+		}
+	}
+	for k := range pg.evicted {
+		if k.Enclave == id {
+			delete(pg.evicted, k)
+		}
+	}
+	pg.epc.FreeEnclave(id)
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// touchSeq runs a cyclic scan of ws pages per pass through a fresh
+// pager and returns its stats.
+func touchSeq(t *testing.T, frames, ws, passes int, pol VictimPolicy) PagerStats {
+	t.Helper()
+	pg := NewPager(testEPC(frames), pol)
+	m := NewMeter()
+	for p := 0; p < passes; p++ {
+		for i := 0; i < ws; i++ {
+			if _, err := pg.Touch(m, 1, uint64(i)*PageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return pg.Stats()
+}
+
+func TestPagerOversubscriptionRoundTrip(t *testing.T) {
+	// 4 frames hosting a 10-page working set: content must survive any
+	// number of evictions and reloads.
+	pg := NewPager(testEPC(4), nil)
+	m := NewMeter()
+	const ws = 10
+	for i := 0; i < ws; i++ {
+		if err := pg.Write(m, 1, uint64(i)*PageSize, []byte(fmt.Sprintf("page-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := ws - 1; i >= 0; i-- {
+		got, err := pg.Read(m, 1, uint64(i)*PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []byte(fmt.Sprintf("page-%d", i))
+		if !bytes.Equal(got[:len(want)], want) {
+			t.Fatalf("page %d: %q", i, got[:len(want)])
+		}
+	}
+	st := pg.Stats()
+	if st.DemandZero != ws {
+		t.Fatalf("demand-zero %d, want %d", st.DemandZero, ws)
+	}
+	if st.Faults != st.Reloads+st.DemandZero {
+		t.Fatalf("fault identity broken: %+v", st)
+	}
+	if st.Resident != 4 || st.Peak != 4 {
+		t.Fatalf("residency %d/%d, want 4/4", st.Resident, st.Peak)
+	}
+	if st.Evictions == 0 || st.Reloads == 0 {
+		t.Fatalf("oversubscribed scan never paged: %+v", st)
+	}
+}
+
+func TestPagerChargesFaultingTenant(t *testing.T) {
+	pg := NewPager(testEPC(2), nil)
+	mA, mB := NewMeter(), NewMeter()
+	// Tenant A faults 3 pages through a 2-frame EPC; tenant B never
+	// touches anything.
+	for i := 0; i < 3; i++ {
+		if _, err := pg.Touch(mA, 1, uint64(i)*PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pg.TenantStats(1)
+	wantNormal := st.Faults*CostPageFault + st.Evictions*CostPageEvict +
+		st.Reloads*CostPageLoad + st.DemandZero*CostPageAdd
+	if got := mA.Normal(); got != wantNormal {
+		t.Fatalf("tenant A charged %d normal, want %d (%+v)", got, wantNormal, st)
+	}
+	if got := mA.SGX(); got != st.Faults*SGXInstPageFault {
+		t.Fatalf("tenant A charged %d SGX(U), want %d", got, st.Faults*SGXInstPageFault)
+	}
+	if mB.Normal() != 0 || mB.SGX() != 0 {
+		t.Fatal("idle tenant was charged")
+	}
+}
+
+func TestPagerPoliciesDeterministicAndDistinct(t *testing.T) {
+	// A cyclic scan with ws > frames is the classic LRU worst case:
+	// every touch after warm-up faults. CLOCK degenerates the same way;
+	// seeded random keeps some pages by luck.
+	const frames, ws, passes = 4, 6, 5
+	for _, mk := range []func() VictimPolicy{
+		NewClockPolicy,
+		NewLRUPolicy,
+		func() VictimPolicy { return NewRandomPolicy(42) },
+	} {
+		a := touchSeq(t, frames, ws, passes, mk())
+		b := touchSeq(t, frames, ws, passes, mk())
+		if a != b {
+			t.Fatalf("%s: identical runs diverged: %+v vs %+v", mk().Name(), a, b)
+		}
+	}
+	lru := touchSeq(t, frames, ws, passes, NewLRUPolicy())
+	if got, want := lru.Faults, uint64(ws*passes); got != want {
+		t.Fatalf("LRU cyclic-scan faults %d, want every touch (%d) to miss", got, want)
+	}
+	rnd := touchSeq(t, frames, ws, passes, NewRandomPolicy(42))
+	if rnd.Hits == 0 {
+		t.Fatal("random policy never got lucky on a cyclic scan")
+	}
+}
+
+func TestPagerNeverEvictsUnmanagedPages(t *testing.T) {
+	e := testEPC(3)
+	// One unmanaged infrastructure page (e.g. a TCS) occupies a frame.
+	infra, err := e.Alloc(9, PageTCS, 0, PermR, []byte("TCS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := NewPager(e, nil)
+	m := NewMeter()
+	for i := 0; i < 6; i++ {
+		if _, err := pg.Touch(m, 1, uint64(i)*PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ent, ok := e.Entry(infra); !ok || ent.Type != PageTCS {
+		t.Fatal("pager evicted an unmanaged page")
+	}
+}
+
+func TestPagerNoVictim(t *testing.T) {
+	e := testEPC(1)
+	if _, err := e.Alloc(9, PageTCS, 0, PermR, nil); err != nil {
+		t.Fatal(err)
+	}
+	pg := NewPager(e, nil)
+	if _, err := pg.Touch(NewMeter(), 1, 0); err != ErrPagerNoVictim {
+		t.Fatalf("got %v, want ErrPagerNoVictim", err)
+	}
+}
+
+func TestPagerRelease(t *testing.T) {
+	pg := NewPager(testEPC(2), nil)
+	m := NewMeter()
+	for i := 0; i < 4; i++ {
+		if _, err := pg.Touch(m, 1, uint64(i)*PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pg.Release(1)
+	st := pg.Stats()
+	if st.Resident != 0 {
+		t.Fatalf("resident %d after release", st.Resident)
+	}
+	// The enclave's pages are gone for good: a re-touch is a fresh
+	// demand-zero fault, not a reload of stale state.
+	before := pg.Stats().DemandZero
+	if _, err := pg.Touch(m, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if pg.Stats().DemandZero != before+1 {
+		t.Fatal("released page reloaded instead of demand-zeroed")
+	}
+}
+
+// TestPagerConcurrentTenants drives several tenants faulting through
+// one shared pager from separate goroutines. Run under -race in CI.
+// With concurrent tenants the interleaving — and so the exact
+// fault/evict counts — is scheduling-dependent; the test checks the
+// invariants that must hold under every interleaving.
+func TestPagerConcurrentTenants(t *testing.T) {
+	const tenants, ws, passes, frames = 4, 8, 10, 16
+	e := testEPC(frames)
+	pg := NewPager(e, nil)
+	meters := make([]*Meter, tenants)
+	var wg sync.WaitGroup
+	errs := make([]error, tenants)
+	for tn := 0; tn < tenants; tn++ {
+		meters[tn] = NewMeter()
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			owner := EnclaveID(tn + 1)
+			for p := 0; p < passes; p++ {
+				for i := 0; i < ws; i++ {
+					if _, err := pg.Touch(meters[tn], owner, uint64(i)*PageSize); err != nil {
+						errs[tn] = err
+						return
+					}
+				}
+			}
+		}(tn)
+	}
+	wg.Wait()
+	for tn, err := range errs {
+		if err != nil {
+			t.Fatalf("tenant %d: %v", tn, err)
+		}
+	}
+	st := pg.Stats()
+	if st.Hits+st.Faults != tenants*ws*passes {
+		t.Fatalf("touch count %d, want %d", st.Hits+st.Faults, tenants*ws*passes)
+	}
+	if st.Faults != st.Reloads+st.DemandZero {
+		t.Fatalf("fault identity broken: %+v", st)
+	}
+	if st.Resident > frames || st.Peak > frames {
+		t.Fatalf("residency exceeds EPC: %+v", st)
+	}
+	if e.FreeCount()+st.Resident != frames {
+		t.Fatalf("frame accounting broken: free=%d resident=%d frames=%d", e.FreeCount(), st.Resident, frames)
+	}
+	// Per-tenant charges reconcile with per-tenant stats.
+	for tn := 0; tn < tenants; tn++ {
+		ts := pg.TenantStats(EnclaveID(tn + 1))
+		want := ts.Faults*CostPageFault + ts.Evictions*CostPageEvict +
+			ts.Reloads*CostPageLoad + ts.DemandZero*CostPageAdd
+		if got := meters[tn].Normal(); got != want {
+			t.Fatalf("tenant %d charged %d, stats say %d", tn, got, want)
+		}
+	}
+}

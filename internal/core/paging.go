@@ -4,7 +4,6 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/hmac"
-	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -30,6 +29,10 @@ const (
 	CostPageLoad  = PageSize*CostAESBlockPerByte + CostHMAC
 )
 
+// evictedBlobLen is the exact wire size of an EWB blob:
+// nonce(16) ‖ metadata(18) ‖ ciphertext(PageSize) ‖ HMAC-SHA256(32).
+const evictedBlobLen = 16 + 18 + PageSize + 32
+
 // ErrPageVersion is returned by ELDU for replayed or unknown evicted
 // pages.
 var ErrPageVersion = errors.New("core: evicted-page version check failed (replay or unknown page)")
@@ -40,15 +43,15 @@ type versionKey struct {
 }
 
 // EWB evicts a frame: the plaintext page is re-encrypted under the
-// paging key with a fresh nonce, its EPCM metadata is embedded, a
-// version token is retained in the CPU, and the frame is freed. The
-// returned blob belongs to the untrusted OS.
+// paging key with a deterministic per-eviction nonce, its EPCM metadata
+// is embedded, a version token is retained in the CPU, and the frame is
+// freed. The returned blob belongs to the untrusted OS.
+//
+// The meter is charged — and the EWB probe kinds observed — only after
+// the request validates (frame in range, valid, not a SECS page): a
+// rejected eviction costs the platform nothing, so failed-path attempts
+// cannot skew the tables' tallies or probe coverage.
 func (e *EPC) EWB(m *Meter, idx int) (*EvictedPage, error) {
-	m.ChargeNormal(CostPageEvict)
-	if h := e.probe.Load(); h != nil {
-		h.p.Observe(KindEWB, 1)
-		h.p.Observe(KindPageEvict, 1)
-	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if idx < 0 || idx >= len(e.frames) || !e.epcm[idx].Valid {
@@ -58,16 +61,32 @@ func (e *EPC) EWB(m *Meter, idx int) (*EvictedPage, error) {
 	if ent.Type == PageSECS {
 		return nil, fmt.Errorf("core: EWB: SECS pages are not evictable here")
 	}
+	m.ChargeNormal(CostPageEvict)
+	if h := e.probe.Load(); h != nil {
+		h.p.Observe(KindEWB, 1)
+		h.p.Observe(KindPageEvict, 1)
+	}
 	// Recover plaintext from the sealed frame.
 	page := make([]byte, PageSize)
 	copy(page, e.frames[idx])
 	e.seal(idx, page)
 
-	var nonce [16]byte
-	if _, err := rand.Read(nonce[:]); err != nil {
-		return nil, err
-	}
+	// Deterministic nonce: derived from the platform's paging key and a
+	// per-(enclave, address) eviction counter. Distinct evictions of the
+	// same page get distinct nonces (the counter), distinct pages get
+	// distinct nonces (the address/owner), and two platforms built from
+	// the same seed produce byte-identical blobs — the determinism
+	// contract the pager traces and sweep goldens rely on. crypto/rand
+	// here would be equally safe but nondeterministic across runs.
 	pk := e.pagingKey()
+	if e.evictSeq == nil {
+		e.evictSeq = make(map[versionKey]uint64)
+	}
+	vk := versionKey{ent.EnclaveID, ent.LinAddr}
+	seq := e.evictSeq[vk]
+	e.evictSeq[vk] = seq + 1
+	nonce := e.evictionNonce(pk, ent.EnclaveID, ent.LinAddr, seq)
+
 	block, err := aes.NewCipher(pk[:16])
 	if err != nil {
 		return nil, err
@@ -78,7 +97,7 @@ func (e *EPC) EWB(m *Meter, idx int) (*EvictedPage, error) {
 	meta[16] = byte(ent.Type)
 	meta[17] = byte(ent.Perms)
 
-	blob := make([]byte, 0, 16+18+PageSize+32)
+	blob := make([]byte, 0, evictedBlobLen)
 	blob = append(blob, nonce[:]...)
 	blob = append(blob, meta...)
 	ct := make([]byte, PageSize)
@@ -95,7 +114,7 @@ func (e *EPC) EWB(m *Meter, idx int) (*EvictedPage, error) {
 	}
 	var tok [32]byte
 	copy(tok[:], blob[len(blob)-32:])
-	e.versions[versionKey{ent.EnclaveID, ent.LinAddr}] = tok
+	e.versions[vk] = tok
 
 	e.epcm[idx] = EPCMEntry{}
 	e.frames[idx] = nil
@@ -103,16 +122,34 @@ func (e *EPC) EWB(m *Meter, idx int) (*EvictedPage, error) {
 	return &EvictedPage{Blob: blob}, nil
 }
 
+// evictionNonce derives the CTR nonce for one eviction of (owner, addr).
+// Caller holds e.mu (or the EPC is otherwise quiescent).
+func (e *EPC) evictionNonce(pk [32]byte, owner EnclaveID, addr, seq uint64) [16]byte {
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(owner))
+	binary.LittleEndian.PutUint64(buf[8:16], addr)
+	binary.LittleEndian.PutUint64(buf[16:24], seq)
+	mac := hmac.New(sha256.New, pk[:])
+	mac.Write([]byte("sgxnet-ewb-nonce"))
+	mac.Write(buf[:])
+	var nonce [16]byte
+	copy(nonce[:], mac.Sum(nil))
+	return nonce
+}
+
 // ELDU reloads an evicted page into a free frame, verifying integrity
 // and the version token (each eviction loads back exactly once, and only
 // its latest version).
+//
+// Ordering matters twice here. The version token is consumed only after
+// a destination frame is secured: a reload attempted against a full EPC
+// fails with ErrEPCFull but leaves the token — and therefore the page —
+// intact, so the OS can evict something else and retry. And the meter
+// charge / probe observation happen only after every validation passes:
+// a malformed blob, forged metadata, or replayed token costs nothing
+// and reports nothing, keeping failed-path tallies pinned at zero.
 func (e *EPC) ELDU(m *Meter, ep *EvictedPage) (int, error) {
-	m.ChargeNormal(CostPageLoad)
-	if h := e.probe.Load(); h != nil {
-		h.p.Observe(KindELDU, 1)
-		h.p.Observe(KindPageLoad, 1)
-	}
-	if ep == nil || len(ep.Blob) != 16+18+PageSize+32 {
+	if ep == nil || len(ep.Blob) != evictedBlobLen {
 		return 0, ErrPageVersion
 	}
 	e.mu.Lock()
@@ -133,11 +170,16 @@ func (e *EPC) ELDU(m *Meter, ep *EvictedPage) (int, error) {
 	if cur, ok := e.versions[key]; !ok || cur != tok {
 		return 0, ErrPageVersion
 	}
-	delete(e.versions, key)
-
 	if len(e.free) == 0 {
 		return 0, ErrEPCFull
 	}
+	m.ChargeNormal(CostPageLoad)
+	if h := e.probe.Load(); h != nil {
+		h.p.Observe(KindELDU, 1)
+		h.p.Observe(KindPageLoad, 1)
+	}
+	delete(e.versions, key)
+
 	block, err := aes.NewCipher(pk[:16])
 	if err != nil {
 		return 0, err

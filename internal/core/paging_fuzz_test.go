@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzELDU feeds arbitrary bytes to the evicted-page parser. The blob
+// an ELDU consumes comes from the untrusted OS, so it is
+// attacker-controlled by definition; the invariants are the paging
+// threat model's, checked on every input:
+//
+//   - no panic, ever;
+//   - a rejected blob changes nothing — frame accounting, the meter,
+//     and the version token are exactly as before, and the genuine
+//     blob still reloads afterwards;
+//   - an accepted blob is byte-for-byte the genuine latest eviction
+//     (MAC under the CPU-held paging key plus the version token leave
+//     no other way in), its plaintext survives the round trip, and
+//     replaying it immediately fails.
+//
+// The seal key and eviction nonces are deterministic here, so the
+// checked-in corpus under testdata/fuzz/FuzzELDU — the genuine blob
+// plus truncated, MAC-flipped, metadata-forged, and version-burned
+// variants — stays valid across runs.
+func FuzzELDU(f *testing.F) {
+	canary := []byte("eldu fuzz canary page")
+
+	// Build the genuine blob once for the seed corpus. fuzzEPC must
+	// mirror this setup exactly or the seeds lose their meaning.
+	genuine, _, _ := fuzzEPC(f, canary)
+	f.Add(append([]byte(nil), genuine.Blob...)) // accepted path
+	f.Add(genuine.Blob[:len(genuine.Blob)/2])   // truncated
+	flipped := append([]byte(nil), genuine.Blob...)
+	flipped[len(flipped)-1] ^= 1 // bit-flipped MAC
+	f.Add(flipped)
+	forged := append([]byte(nil), genuine.Blob...)
+	forged[16] ^= 0xff // forged metadata (owner enclave ID)
+	f.Add(forged)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xa5}, evictedBlobLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		genuine, e, m := fuzzEPC(t, canary)
+		freeBefore := e.FreeCount()
+		tallyBefore := m.Snapshot()
+
+		idx, err := e.ELDU(m, &EvictedPage{Blob: append([]byte(nil), data...)})
+		if err != nil {
+			// Rejection must be free and leave the EPC untouched.
+			if got := e.FreeCount(); got != freeBefore {
+				t.Fatalf("failed ELDU moved frame accounting: %d -> %d", freeBefore, got)
+			}
+			if got := m.Snapshot(); got != tallyBefore {
+				t.Fatalf("failed ELDU charged the meter: %+v -> %+v", tallyBefore, got)
+			}
+			ridx, rerr := e.ELDU(m, genuine)
+			if rerr != nil {
+				t.Fatalf("genuine blob no longer loads after rejected input: %v", rerr)
+			}
+			page, rerr := e.Read(7, ridx)
+			if rerr != nil || !bytes.Equal(page[:len(canary)], canary) {
+				t.Fatalf("page corrupted after rejected input: err=%v content=%q", rerr, page[:len(canary)])
+			}
+			return
+		}
+
+		// Acceptance is only reachable with the genuine bytes.
+		if !bytes.Equal(data, genuine.Blob) {
+			t.Fatalf("ELDU accepted a non-genuine blob (%d bytes)", len(data))
+		}
+		page, rerr := e.Read(7, idx)
+		if rerr != nil || !bytes.Equal(page[:len(canary)], canary) {
+			t.Fatalf("reloaded page lost content: err=%v content=%q", rerr, page[:len(canary)])
+		}
+		// The version token was consumed: an immediate replay must fail.
+		if _, rerr := e.ELDU(m, genuine); rerr != ErrPageVersion {
+			t.Fatalf("replay of consumed blob: err=%v, want ErrPageVersion", rerr)
+		}
+	})
+}
+
+// fuzzEPC builds the deterministic fixture every FuzzELDU iteration
+// (and the seed corpus) shares: a 4-frame EPC with the test seal key,
+// one canary page allocated to enclave 7 at 0x4000 and then evicted.
+// Returns the resulting genuine blob, the EPC, and a fresh meter.
+func fuzzEPC(tb testing.TB, canary []byte) (*EvictedPage, *EPC, *Meter) {
+	tb.Helper()
+	e := testEPC(4)
+	m := NewMeter()
+	idx, err := e.Alloc(7, PageREG, 0x4000, PermR|PermW, canary)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	genuine, err := e.EWB(m, idx)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return genuine, e, NewMeter()
+}

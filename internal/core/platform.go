@@ -43,6 +43,14 @@ type PlatformConfig struct {
 	// ArchSigner is the MRSIGNER allowed to launch architectural
 	// enclaves (the "Intel" signer). Zero means none.
 	ArchSigner Measurement
+	// Seed, when non-empty, derives the platform's fused secrets (the
+	// key-derivation root, the MEE key, and the attestation keypair)
+	// deterministically instead of from crypto/rand. Two platforms built
+	// from the same seed are byte-for-byte interchangeable — same sealed
+	// blobs, same evicted-page blobs — which is what lets paging traces
+	// and the EPC sweep goldens pin exact bytes. Production platforms
+	// leave it empty; determinism-sensitive harnesses set it.
+	Seed []byte
 }
 
 // Platform models one SGX-enabled machine: a CPU package holding fused
@@ -77,15 +85,26 @@ func NewPlatform(name string, cfg PlatformConfig) (*Platform, error) {
 		cfg.EPCFrames = 1024
 	}
 	var secret, sealKey [32]byte
-	if _, err := rand.Read(secret[:]); err != nil {
-		return nil, fmt.Errorf("core: platform secret: %w", err)
-	}
-	if _, err := rand.Read(sealKey[:]); err != nil {
-		return nil, fmt.Errorf("core: MEE key: %w", err)
-	}
-	pub, priv, err := ed25519.GenerateKey(rand.Reader)
-	if err != nil {
-		return nil, fmt.Errorf("core: attestation key: %w", err)
+	var pub ed25519.PublicKey
+	var priv ed25519.PrivateKey
+	if len(cfg.Seed) > 0 {
+		secret = seedDerive("sgxnet-platform-secret", cfg.Seed)
+		sealKey = seedDerive("sgxnet-mee-key", cfg.Seed)
+		att := seedDerive("sgxnet-attestation-key", cfg.Seed)
+		priv = ed25519.NewKeyFromSeed(att[:])
+		pub = priv.Public().(ed25519.PublicKey)
+	} else {
+		if _, err := rand.Read(secret[:]); err != nil {
+			return nil, fmt.Errorf("core: platform secret: %w", err)
+		}
+		if _, err := rand.Read(sealKey[:]); err != nil {
+			return nil, fmt.Errorf("core: MEE key: %w", err)
+		}
+		var err error
+		pub, priv, err = ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("core: attestation key: %w", err)
+		}
 	}
 	p := &Platform{
 		Name:      name,
@@ -145,6 +164,16 @@ func (p *Platform) Enclaves() []*Enclave {
 	for _, e := range p.enclaves {
 		out = append(out, e)
 	}
+	return out
+}
+
+// seedDerive expands a deterministic platform seed into one fused
+// secret, domain-separated by label.
+func seedDerive(label string, seed []byte) [32]byte {
+	mac := hmac.New(sha256.New, seed)
+	mac.Write([]byte(label))
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
 	return out
 }
 

@@ -49,6 +49,17 @@ const (
 	KindPageAdd      = "epc.page_add"
 	KindPageEvict    = "epc.ewb"
 	KindPageLoad     = "epc.eldu"
+
+	// Pager events (EPC oversubscription layer). Fault/hit decompose
+	// every pager access; evict/reload/demand_zero decompose how faults
+	// were served. Counter identities a metrics consumer can check:
+	// pager.fault = pager.reload + pager.demand_zero, and pager.evict ≤
+	// pager.fault.
+	KindPagerFault      = "pager.fault"
+	KindPagerHit        = "pager.hit"
+	KindPagerEvict      = "pager.evict"
+	KindPagerReload     = "pager.reload"
+	KindPagerDemandZero = "pager.demand_zero"
 )
 
 // probeHolder wraps a Probe so a nil interface and an absent probe look

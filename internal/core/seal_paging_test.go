@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -339,5 +340,223 @@ func TestEWBRejectsInvalidAndSECS(t *testing.T) {
 	idx, _ := e.Alloc(0, PageSECS, 0, PermR, []byte("SECS"))
 	if _, err := e.EWB(m, idx); err == nil {
 		t.Fatal("SECS page evicted")
+	}
+}
+
+// TestELDUFullEPCPreservesToken is the regression test for the
+// token-consumption ordering bug: a reload attempted against a full EPC
+// must fail with ErrEPCFull but keep the version token, so the same
+// blob loads successfully once a frame frees up. The buggy ordering
+// consumed the token first, permanently destroying the page (every
+// retry then failed ErrPageVersion).
+func TestELDUFullEPCPreservesToken(t *testing.T) {
+	e := testEPC(2)
+	m := NewMeter()
+	idx, err := e.Alloc(1, PageREG, 0x1000, PermR|PermW, []byte("survivor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := e.EWB(m, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the EPC so the reload has nowhere to go.
+	f1, err := e.Alloc(2, PageREG, 0x2000, PermR, []byte("filler1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Alloc(2, PageREG, 0x3000, PermR, []byte("filler2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ELDU(m, ev); err != ErrEPCFull {
+		t.Fatalf("reload into full EPC: got %v, want ErrEPCFull", err)
+	}
+	// Every retry while still full must keep failing the same way — not
+	// ErrPageVersion, which would mean the token was consumed.
+	if _, err := e.ELDU(m, ev); err != ErrEPCFull {
+		t.Fatalf("retry into full EPC: got %v, want ErrEPCFull", err)
+	}
+	// Free a frame and retry: the token must have survived.
+	if _, err := e.EWB(m, f1); err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := e.ELDU(m, ev)
+	if err != nil {
+		t.Fatalf("retry after freeing a frame: %v", err)
+	}
+	got, err := e.Read(1, idx2)
+	if err != nil || !bytes.Equal(got[:8], []byte("survivor")) {
+		t.Fatalf("%q %v", got[:8], err)
+	}
+}
+
+// tallyProbe counts probe observations, for pinning failed-path
+// coverage at zero.
+type tallyProbe struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+}
+
+func (p *tallyProbe) Observe(kind string, n uint64) {
+	p.mu.Lock()
+	if p.counts == nil {
+		p.counts = make(map[string]uint64)
+	}
+	p.counts[kind] += n
+	p.mu.Unlock()
+}
+
+func (p *tallyProbe) get(kind string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[kind]
+}
+
+// TestFailedPagingChargesNothing pins the failed-path meter tally and
+// probe coverage at zero: rejected EWB/ELDU calls must not charge
+// CostPageEvict/CostPageLoad or observe the EWB/ELDU kinds, or
+// adversarial garbage would skew the tables and the trace attribution.
+func TestFailedPagingChargesNothing(t *testing.T) {
+	e := testEPC(2)
+	pr := &tallyProbe{}
+	e.probe.Store(&probeHolder{p: pr})
+	m := NewMeter()
+
+	// Failed EWB paths: out of range, invalid frame, SECS page.
+	if _, err := e.EWB(m, -1); err == nil {
+		t.Fatal("negative index evicted")
+	}
+	if _, err := e.EWB(m, 0); err == nil { // frame 0 not allocated
+		t.Fatal("invalid frame evicted")
+	}
+	sidx, _ := e.Alloc(0, PageSECS, 0, PermR, []byte("SECS"))
+	if _, err := e.EWB(m, sidx); err == nil {
+		t.Fatal("SECS page evicted")
+	}
+
+	// Failed ELDU paths: nil, short, tampered, replayed, full EPC.
+	idx, _ := e.Alloc(1, PageREG, 0x1000, PermR|PermW, []byte("x"))
+	ev, err := e.EWB(m, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evictCharge := m.Normal() // the one legitimate EWB
+	if evictCharge != CostPageEvict {
+		t.Fatalf("good EWB charged %d, want %d", evictCharge, CostPageEvict)
+	}
+	if _, err := e.ELDU(m, nil); err != ErrPageVersion {
+		t.Fatalf("nil blob: %v", err)
+	}
+	if _, err := e.ELDU(m, &EvictedPage{Blob: ev.Blob[:40]}); err != ErrPageVersion {
+		t.Fatalf("short blob: %v", err)
+	}
+	cp := append([]byte{}, ev.Blob...)
+	cp[20] ^= 1
+	if _, err := e.ELDU(m, &EvictedPage{Blob: cp}); err != ErrPageVersion {
+		t.Fatalf("tampered blob: %v", err)
+	}
+	// Fill the EPC; a structurally valid reload with no free frame also
+	// charges nothing.
+	if _, err := e.Alloc(2, PageREG, 0x2000, PermR, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ELDU(m, ev); err != ErrEPCFull {
+		t.Fatalf("full EPC: %v", err)
+	}
+
+	if got := m.Normal(); got != evictCharge {
+		t.Fatalf("failed paging paths charged %d extra normal instructions", got-evictCharge)
+	}
+	if pr.get(KindEWB) != 1 || pr.get(KindPageEvict) != 1 {
+		t.Fatalf("failed EWB paths observed: EWB=%d evict=%d, want 1/1", pr.get(KindEWB), pr.get(KindPageEvict))
+	}
+	if pr.get(KindELDU) != 0 || pr.get(KindPageLoad) != 0 {
+		t.Fatalf("failed ELDU paths observed: ELDU=%d load=%d, want 0/0", pr.get(KindELDU), pr.get(KindPageLoad))
+	}
+}
+
+// TestEWBNonceDeterministic checks the determinism contract of evicted
+// blobs: identical platforms (same MEE key) performing identical
+// alloc/evict sequences produce byte-identical blobs, and re-evictions
+// of the same page advance the per-(enclave, addr) counter so their
+// nonces — and blobs — differ.
+func TestEWBNonceDeterministic(t *testing.T) {
+	run := func() ([]byte, []byte, []byte) {
+		e := testEPC(4)
+		m := NewMeter()
+		idx, _ := e.Alloc(7, PageREG, 0x5000, PermR|PermW, []byte("det"))
+		ev1, err := e.EWB(m, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err = e.ELDU(m, ev1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev2, err := e.EWB(m, idx) // second eviction of the same page
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxB, _ := e.Alloc(7, PageREG, 0x6000, PermR|PermW, []byte("det"))
+		evB, err := e.EWB(m, idxB) // same content, different address
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev1.Blob, ev2.Blob, evB.Blob
+	}
+	a1, a2, aB := run()
+	b1, b2, bB := run()
+	if !bytes.Equal(a1, b1) || !bytes.Equal(a2, b2) || !bytes.Equal(aB, bB) {
+		t.Fatal("identical eviction sequences produced different blobs")
+	}
+	if bytes.Equal(a1[:16], a2[:16]) {
+		t.Fatal("re-eviction reused the nonce")
+	}
+	if bytes.Equal(a1[:16], aB[:16]) {
+		t.Fatal("distinct pages share a nonce")
+	}
+}
+
+// TestSeededPlatformDeterministic checks PlatformConfig.Seed: two
+// platforms built from the same seed share fused secrets — same
+// attestation key, same sealed bytes, same evicted-page blobs.
+func TestSeededPlatformDeterministic(t *testing.T) {
+	mk := func() *Platform {
+		p, err := NewPlatform("det", PlatformConfig{EPCFrames: 8, Seed: []byte("epc-sweep-seed")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p2 := mk(), mk()
+	if !bytes.Equal(p1.AttestationPublicKey(), p2.AttestationPublicKey()) {
+		t.Fatal("seeded platforms disagree on attestation key")
+	}
+	m := NewMeter()
+	evict := func(p *Platform) []byte {
+		idx, err := p.EPC().Alloc(3, PageREG, 0x9000, PermR|PermW, []byte("payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := p.EPC().EWB(m, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.Blob
+	}
+	if !bytes.Equal(evict(p1), evict(p2)) {
+		t.Fatal("seeded platforms produced different evicted blobs")
+	}
+	// Unseeded platforms must keep fresh random secrets.
+	q1, err := NewPlatform("r1", PlatformConfig{EPCFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := NewPlatform("r2", PlatformConfig{EPCFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(q1.AttestationPublicKey(), q2.AttestationPublicKey()) {
+		t.Fatal("unseeded platforms share an attestation key")
 	}
 }

@@ -14,9 +14,11 @@ import (
 var updateTrace = flag.Bool("update-trace", false, "rewrite the golden trace file")
 
 // traceRun records the reference workload — the Table 4 row at the
-// canonical 30 ASes plus one Figure 3 point — into a fresh trace and
-// returns its JSONL export. The registry is installed as the default
-// probe so the metrics track exercises the instruction-kind counters.
+// canonical 30 ASes, one Figure 3 point, and one oversubscribed EPC
+// sweep point (so the pager's spans and pager.* counters are pinned
+// too) — into a fresh trace and returns its JSONL export. The registry
+// is installed as the default probe so the metrics track exercises the
+// instruction-kind counters.
 func traceRun(t *testing.T, workers int) []byte {
 	t.Helper()
 	reg := obs.NewRegistry()
@@ -29,6 +31,9 @@ func traceRun(t *testing.T, workers int) []byte {
 		t.Fatal(err)
 	}
 	if _, err := r.Figure3([]int{10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := epcSweepPoint(tr, 2, 2.0, "clock"); err != nil {
 		t.Fatal(err)
 	}
 	var b bytes.Buffer
