@@ -189,6 +189,36 @@ func BenchmarkEPCSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkXcallSweep regenerates the switchless-call ablation at
+// worker counts 1 and GOMAXPROCS, and reports the minimum speedup over
+// the batch ≥16 points as a custom metric — the acceptance bar is 2×,
+// so BENCH_results.json tracks how much headroom the ring model keeps.
+func BenchmarkXcallSweep(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := eval.NewRunner(workers)
+			b.ReportAllocs()
+			var minSpeedup float64
+			for i := 0; i < b.N; i++ {
+				pts, err := r.XcallSweep()
+				if err != nil {
+					b.Fatal(err)
+				}
+				minSpeedup = 0
+				for _, p := range pts {
+					if p.Mode != "switchless" || p.Batch < 16 {
+						continue
+					}
+					if minSpeedup == 0 || p.Speedup < minSpeedup {
+						minSpeedup = p.Speedup
+					}
+				}
+			}
+			b.ReportMetric(minSpeedup, "min-speedup-x")
+		})
+	}
+}
+
 // BenchmarkAblationBatching sweeps enclave I/O batch sizes.
 func BenchmarkAblationBatching(b *testing.B) {
 	b.ReportAllocs()

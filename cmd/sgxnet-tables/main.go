@@ -8,6 +8,7 @@
 //	sgxnet-tables -fig 3           # Figure 3 sweep
 //	sgxnet-tables -ablations       # ablation experiments only
 //	sgxnet-tables -epc-sweep       # EPC oversubscription sweep only
+//	sgxnet-tables -xcall-sweep     # switchless-call crossing ablation only
 //	sgxnet-tables -faults          # fault-tolerance sweep (wall-clock sensitive)
 //	sgxnet-tables -workers 8       # evaluation-engine parallelism (0 = GOMAXPROCS)
 //	sgxnet-tables -trace out.trace # also record a deterministic trace (JSONL)
@@ -37,6 +38,7 @@ type options struct {
 	fig         int
 	ablations   bool
 	epcSweep    bool
+	xcallSweep  bool
 	faults      bool
 	csv         bool
 	workers     int    // evaluation-engine parallelism; 0 = GOMAXPROCS
@@ -48,7 +50,7 @@ type options struct {
 // sweep races real timeouts against goroutine scheduling, so its numbers
 // are not byte-reproducible; it only runs on request.
 func (o options) all() bool {
-	return o.table == 0 && o.fig == 0 && !o.ablations && !o.epcSweep && !o.faults
+	return o.table == 0 && o.fig == 0 && !o.ablations && !o.epcSweep && !o.xcallSweep && !o.faults
 }
 
 // emit writes the selected sections. Each section is an independent
@@ -161,6 +163,16 @@ func emit(w io.Writer, o options) error {
 			return nil
 		}))
 	}
+	if o.xcallSweep || o.all() {
+		sections = append(sections, section("xcall sweep", func(w io.Writer) error {
+			pts, err := r.XcallSweep()
+			if err != nil {
+				return err
+			}
+			eval.RenderXcallSweep(w, pts)
+			return nil
+		}))
+	}
 	if o.faults {
 		sections = append(sections, func() ([]byte, error) {
 			fpts, err := r.FaultTolerance(nil, 0)
@@ -219,6 +231,7 @@ func main() {
 	flag.IntVar(&o.fig, "fig", 0, "regenerate one figure (3); 0 = all")
 	flag.BoolVar(&o.ablations, "ablations", false, "run only the ablation experiments")
 	flag.BoolVar(&o.epcSweep, "epc-sweep", false, "run only the EPC oversubscription sweep (multi-tenant paging overhead)")
+	flag.BoolVar(&o.xcallSweep, "xcall-sweep", false, "run only the switchless-call ablation (ring batching vs synchronous crossings)")
 	flag.BoolVar(&o.faults, "faults", false, "run the fault-tolerance sweep (timing-dependent, excluded from -ablations and the default run)")
 	flag.BoolVar(&o.csv, "csv", false, "emit Figure 3 as CSV (for plotting) instead of the text chart")
 	flag.IntVar(&o.workers, "workers", 0, "evaluation-engine worker pool size; 0 = GOMAXPROCS, 1 = serial")

@@ -8,6 +8,7 @@ import (
 	"sgxnet/internal/netsim"
 	"sgxnet/internal/obs"
 	"sgxnet/internal/sgxcrypto"
+	"sgxnet/internal/xcall"
 )
 
 // QuoteService is the netsim service name the quoting enclave's untrusted
@@ -122,11 +123,57 @@ type Agent struct {
 	QE   *core.Enclave
 
 	shim *netsim.IOShim
+	mh   *netsim.MultiHost
 	l    *netsim.Listener
+
+	// Switchless quote serving (SetXcall): serve requests enter through
+	// callRing instead of Enclave.Call, and the QE's message OCALLs ride
+	// ocallRing instead of paying EEXIT/ERESUME each.
+	callRing  *xcall.CallRing
+	ocallRing *xcall.OCallRing
 
 	trMu    sync.Mutex
 	trace   *obs.Trace
 	trTrack string
+}
+
+// SetXcall switches the agent to switchless quote serving: ECALLs into
+// the quoting enclave and its message OCALLs both ride xcall rings
+// sized by cfg, and the message shim's sends use windowed batched
+// accounting. Call it right after NewAgent, before any requester
+// connects — the rings are installed without synchronization against
+// in-flight serves.
+func (a *Agent) SetXcall(cfg xcall.Config) {
+	cfg = cfg.WithDefaults()
+	a.callRing = xcall.NewCallRing(a.QE, cfg)
+	a.ocallRing = xcall.NewOCallRing(a.QE, a.mh, cfg)
+	a.QE.BindHost(a.ocallRing)
+	a.QE.SetSwitchlessOCalls(true)
+	a.shim.SetBatched(cfg.Batch)
+}
+
+// FlushXcall drains the agent's rings and closes the shim's send
+// window at a phase boundary. No-op when running synchronously.
+func (a *Agent) FlushXcall() error {
+	if a.callRing == nil {
+		return nil
+	}
+	if err := a.callRing.Flush(); err != nil {
+		return err
+	}
+	if err := a.ocallRing.Flush(); err != nil {
+		return err
+	}
+	a.shim.FlushBatch()
+	return nil
+}
+
+// XcallStats sums the agent's ring tallies (zero when synchronous).
+func (a *Agent) XcallStats() xcall.Stats {
+	if a.callRing == nil {
+		return xcall.Stats{}
+	}
+	return a.callRing.Stats().Add(a.ocallRing.Stats())
 }
 
 // SetTrace makes the agent record a span per served quote request on
@@ -156,15 +203,15 @@ func NewAgent(host *netsim.SimHost, archSigner *core.Signer) (*Agent, error) {
 		return nil, fmt.Errorf("attest: quoting enclave not architectural — platform ArchSigner mismatch")
 	}
 	shim := netsim.NewMsgShim(host, qe.Meter())
-	var mh netsim.MultiHost
+	mh := &netsim.MultiHost{}
 	mh.Mount("msg.", shim)
-	qe.BindHost(&mh)
+	qe.BindHost(mh)
 	l, err := host.Listen(QuoteService)
 	if err != nil {
 		qe.Destroy()
 		return nil, err
 	}
-	a := &Agent{Host: host, QE: qe, shim: shim, l: l}
+	a := &Agent{Host: host, QE: qe, shim: shim, mh: mh, l: l}
 	go l.Serve(a.serveConn)
 	return a, nil
 }
@@ -177,7 +224,12 @@ func (a *Agent) serveConn(c *netsim.Conn) {
 	tr, track := a.trace, a.trTrack
 	a.trMu.Unlock()
 	before := a.QE.Meter().Snapshot()
-	_, err := a.QE.Call("serve", arg)
+	var err error
+	if a.callRing != nil {
+		_, err = a.callRing.Call("serve", arg)
+	} else {
+		_, err = a.QE.Call("serve", arg)
+	}
 	if tr != nil {
 		tr.RecordSpan(track, "attest.quote", a.QE.Meter().Snapshot().Sub(before))
 	}

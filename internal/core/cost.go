@@ -162,6 +162,36 @@ const (
 	// in-enclave work — are where SGX overhead concentrates.
 	SGXInstPageFault = 2
 
+	// --- Switchless calls (xcall rings, DESIGN.md §10) ---
+	//
+	// The switchless-call subsystem (internal/xcall) replaces the
+	// per-call EENTER/EEXIT pair with bounded shared-memory rings: the
+	// caller writes a descriptor, an enclave-resident worker drains
+	// descriptors in batches, and only the batch boundary pays a
+	// crossing. These constants are the modeled ring operations; the
+	// amortized crossing itself is SGXInstRingDrain per drained batch.
+
+	// CostRingEnqueue is the producer side of one descriptor: the slot
+	// claim, the descriptor write, the release fence, and the doorbell
+	// word check.
+	CostRingEnqueue = 350
+
+	// CostRingDequeue is the worker side of one descriptor: the
+	// acquire-load, the descriptor parse, and the completion-slot write
+	// the caller spins on.
+	CostRingDequeue = 250
+
+	// CostRingSpinPoll is one poll of the ring head by the spinning
+	// in-enclave worker. Charged once per submission while the worker is
+	// hot — the modeled price of keeping a core busy-waiting inside the
+	// enclave instead of crossing.
+	CostRingSpinPoll = 60
+
+	// SGXInstRingDrain is the amortized EEXIT/ERESUME pair per drained
+	// batch: the worker yields between batches, so N descriptors cost
+	// one crossing instead of N (HotCalls-style accounting).
+	SGXInstRingDrain = 2
+
 	// --- Fault tolerance (this repo's extension beyond the paper) ---
 	//
 	// The paper's protocols assume a benign scheduler; hardening them

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Enclave construction and execution.
@@ -199,6 +200,11 @@ type Enclave struct {
 	hostMu sync.RWMutex
 	host   Host
 
+	// switchlessOCalls suppresses the EEXIT/ERESUME charge in Env.OCall:
+	// the enclave's OCALLs ride a shared-memory ring (internal/xcall)
+	// whose drains account the amortized crossings instead.
+	switchlessOCalls atomic.Bool
+
 	destroyed sync.Once
 	dead      bool
 }
@@ -235,17 +241,9 @@ func (e *Enclave) BindHost(h Host) {
 // after EEXIT. An empty name invokes the program's Main. Call charges the
 // EENTER/EEXIT pair to the enclave meter.
 func (e *Enclave) Call(fn string, arg []byte) ([]byte, error) {
-	if e.dead {
-		return nil, fmt.Errorf("core: enclave %d destroyed", e.id)
-	}
-	var h Handler
-	if fn == "" {
-		h = e.prog.Main
-	} else {
-		h = e.prog.Handlers[fn]
-	}
-	if h == nil {
-		return nil, fmt.Errorf("core: enclave %q has no entry point %q", e.prog.Name, fn)
+	h, err := e.entry(fn)
+	if err != nil {
+		return nil, err
 	}
 	e.meter.ChargeSGX(1) // EENTER
 	if hp := e.plat.probe.Load(); hp != nil {
@@ -258,6 +256,46 @@ func (e *Enclave) Call(fn string, arg []byte) ([]byte, error) {
 	e.plat.observe(KindEEXIT, 1)
 	return out, err
 }
+
+// SwitchlessCall invokes an entry point without the EENTER/EEXIT pair:
+// the descriptor reached the enclave through a shared-memory ring
+// (internal/xcall) and an already-resident worker dispatches it, so no
+// crossing happens here. The ring charges the modeled ring operations
+// and the per-batch amortized crossing; handler work still lands on the
+// enclave meter as usual. Callers must not use this to bypass crossing
+// accounting outside the xcall subsystem.
+func (e *Enclave) SwitchlessCall(fn string, arg []byte) ([]byte, error) {
+	h, err := e.entry(fn)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{e: e}
+	return h(env, arg)
+}
+
+// entry resolves an entry-point name (empty = Main) against the program.
+func (e *Enclave) entry(fn string) (Handler, error) {
+	if e.dead {
+		return nil, fmt.Errorf("core: enclave %d destroyed", e.id)
+	}
+	var h Handler
+	if fn == "" {
+		h = e.prog.Main
+	} else {
+		h = e.prog.Handlers[fn]
+	}
+	if h == nil {
+		return nil, fmt.Errorf("core: enclave %q has no entry point %q", e.prog.Name, fn)
+	}
+	return h, nil
+}
+
+// SetSwitchlessOCalls toggles switchless OCALL accounting: when on,
+// Env.OCall stops charging the EEXIT/ERESUME pair (and stops reporting
+// the crossing kinds) because the enclave's host requests ride an xcall
+// ring that accounts amortized crossings at drain time. The dispatch
+// itself is unchanged — only who pays for the boundary moves.
+func (e *Enclave) SetSwitchlessOCalls(on bool) { e.switchlessOCalls.Store(on) }
 
 // Destroy frees the enclave's EPC pages (EREMOVE) and deregisters it. A
 // destroyed enclave rejects further calls — the host can always do this
@@ -294,11 +332,13 @@ func (env *Env) OCall(service string, arg []byte) ([]byte, error) {
 	if h == nil {
 		return nil, ErrNoHost
 	}
-	env.e.meter.ChargeSGX(2) // EEXIT + ERESUME
-	if hp := env.e.plat.probe.Load(); hp != nil {
-		hp.p.Observe(KindEEXIT, 1)
-		hp.p.Observe(KindERESUME, 1)
-		hp.p.Observe(KindEnclaveOCall, 1)
+	if !env.e.switchlessOCalls.Load() {
+		env.e.meter.ChargeSGX(2) // EEXIT + ERESUME
+		if hp := env.e.plat.probe.Load(); hp != nil {
+			hp.p.Observe(KindEEXIT, 1)
+			hp.p.Observe(KindERESUME, 1)
+			hp.p.Observe(KindEnclaveOCall, 1)
+		}
 	}
 	return h.OCall(service, arg)
 }

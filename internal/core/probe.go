@@ -99,6 +99,17 @@ func (p *Platform) SetProbe(pr Probe) {
 	p.epc.probe.Store(h)
 }
 
+// Probe returns the platform's installed probe, or nil. Subsystems
+// layered above core (e.g. internal/xcall's switchless rings) use this
+// to report their own kinds through the same stream that carries the
+// platform's instruction decomposition.
+func (p *Platform) Probe() Probe {
+	if h := p.probe.Load(); h != nil {
+		return h.p
+	}
+	return nil
+}
+
 // observe notifies the installed probe, if any.
 func (p *Platform) observe(kind string, n uint64) {
 	if h := p.probe.Load(); h != nil {

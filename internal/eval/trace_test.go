@@ -9,16 +9,18 @@ import (
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/obs"
+	"sgxnet/internal/xcall"
 )
 
 var updateTrace = flag.Bool("update-trace", false, "rewrite the golden trace file")
 
 // traceRun records the reference workload — the Table 4 row at the
-// canonical 30 ASes, one Figure 3 point, and one oversubscribed EPC
-// sweep point (so the pager's spans and pager.* counters are pinned
-// too) — into a fresh trace and returns its JSONL export. The registry
-// is installed as the default probe so the metrics track exercises the
-// instruction-kind counters.
+// canonical 30 ASes, one Figure 3 point, one oversubscribed EPC sweep
+// point (so the pager's spans and pager.* counters are pinned too),
+// and one switchless xcall sweep point (so the xcall.* probe kinds and
+// ring counters are pinned) — into a fresh trace and returns its JSONL
+// export. The registry is installed as the default probe so the
+// metrics track exercises the instruction-kind counters.
 func traceRun(t *testing.T, workers int) []byte {
 	t.Helper()
 	reg := obs.NewRegistry()
@@ -34,6 +36,9 @@ func traceRun(t *testing.T, workers int) []byte {
 		t.Fatal(err)
 	}
 	if _, err := epcSweepPoint(tr, 2, 2.0, "clock"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xcallSweepPoint(tr, "tls", &xcall.Config{Batch: 16, SpinBudget: 64}); err != nil {
 		t.Fatal(err)
 	}
 	var b bytes.Buffer

@@ -45,6 +45,20 @@ type IOShim struct {
 	// re-entered just to learn nothing arrived — and returns ErrTimeout
 	// so the protocol driver can retry.
 	recvTimeout atomic.Int64
+
+	// batchWin > 1 enables batched mode: outgoing packets ride the
+	// switchless subsystem's shared ring instead of individual OCALL
+	// buffers, so the per-call fixed cost is charged once per window of
+	// batchWin sends and the per-packet boundary-crossing SGX charge is
+	// dropped entirely (the data never crosses by itself; the ring
+	// drain's amortized crossing, charged by internal/xcall, covers
+	// it). Receives keep synchronous accounting: the host-side posting
+	// into the response slot is still per-call work, and none of the
+	// adopters batch their reads. Window progress evolves on the send
+	// clock — deterministic, like the rest of the model.
+	batchWin  atomic.Int64
+	batchMu   sync.Mutex
+	batchLeft int
 }
 
 // NewIOShim creates the data-plane shim for an enclave on the given host;
@@ -141,13 +155,53 @@ func (s *IOShim) lookup(arg []byte) (*Conn, []byte, error) {
 	return c, arg[4:], nil
 }
 
+// SetBatched enables (window > 1) or disables (window <= 1) batched
+// accounting for outgoing packets; see the batchWin field. Flushing an
+// open window is the caller's job at phase boundaries (FlushBatch).
+func (s *IOShim) SetBatched(window int) {
+	if window <= 1 {
+		window = 0
+	}
+	s.batchWin.Store(int64(window))
+	if window == 0 {
+		s.batchMu.Lock()
+		s.batchLeft = 0
+		s.batchMu.Unlock()
+	}
+}
+
+// FlushBatch closes the current send window, if one is open: the next
+// send pays the fixed per-call cost again. Flushing with no open
+// window (zero-length batch) charges nothing.
+func (s *IOShim) FlushBatch() {
+	s.batchMu.Lock()
+	s.batchLeft = 0
+	s.batchMu.Unlock()
+}
+
+// chargePacket accounts one outgoing packet under the current mode.
+func (s *IOShim) chargePacket() {
+	if w := s.batchWin.Load(); w > 1 {
+		s.batchMu.Lock()
+		if s.batchLeft == 0 {
+			s.meter.ChargeNormal(core.CostIOCallFixed)
+			s.batchLeft = int(w)
+		}
+		s.batchLeft--
+		s.batchMu.Unlock()
+		s.meter.ChargeNormal(core.CostIOPerPacket)
+		return
+	}
+	s.meter.ChargeNormal(core.CostIOCallFixed + core.CostIOPerPacket)
+	s.meter.ChargeSGX(s.boundarySGX)
+}
+
 func (s *IOShim) send(arg []byte) ([]byte, error) {
 	c, pkt, err := s.lookup(arg)
 	if err != nil {
 		return nil, err
 	}
-	s.meter.ChargeNormal(core.CostIOCallFixed + core.CostIOPerPacket)
-	s.meter.ChargeSGX(s.boundarySGX)
+	s.chargePacket()
 	return nil, c.Send(pkt)
 }
 
@@ -161,7 +215,13 @@ func (s *IOShim) batch(arg []byte) ([]byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(rest[:4])
 	rest = rest[4:]
-	s.meter.ChargeNormal(core.CostIOCallFixed)
+	// In batched mode every packet goes through the windowed charge (a
+	// zero-length batch is then free); otherwise the call's fixed cost
+	// is paid once up front, per Table 2.
+	batched := s.batchWin.Load() > 1
+	if !batched {
+		s.meter.ChargeNormal(core.CostIOCallFixed)
+	}
 	for i := uint32(0); i < n; i++ {
 		if len(rest) < 4 {
 			return nil, errBadIOArg
@@ -171,8 +231,12 @@ func (s *IOShim) batch(arg []byte) ([]byte, error) {
 		if uint32(len(rest)) < l {
 			return nil, errBadIOArg
 		}
-		s.meter.ChargeNormal(core.CostIOPerPacket)
-		s.meter.ChargeSGX(s.boundarySGX)
+		if batched {
+			s.chargePacket()
+		} else {
+			s.meter.ChargeNormal(core.CostIOPerPacket)
+			s.meter.ChargeSGX(s.boundarySGX)
+		}
 		if err := c.Send(rest[:l]); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,284 @@
+package netsim
+
+import (
+	"testing"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/xcall"
+)
+
+// Batched-mode edge cases: the shim's windowed accounting (fixed cost
+// once per window, no per-packet boundary SGX) composed with the xcall
+// ring's fallbacks, zero-length batches, and an active fault schedule.
+// The concurrent pieces run under -race in CI like every other test.
+
+// batchRig wires two hosts, a sink that drains count packets, and a
+// data-plane shim on the sender charging the given meter.
+func batchRig(t *testing.T, n *Network, meter *core.Meter, count int) (*IOShim, uint32, chan int) {
+	t.Helper()
+	src, err := n.AddHost("src", core.PlatformConfig{EPCFrames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := n.AddHost("dst", core.PlatformConfig{EPCFrames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := dst.Listen("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := make(chan int, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			received <- 0
+			return
+		}
+		got := 0
+		for got < count {
+			if _, err := c.Recv(); err != nil {
+				break
+			}
+			got++
+		}
+		received <- got
+	}()
+	shim := NewIOShim(src, meter)
+	conn, err := src.Dial("dst", "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shim, shim.Adopt(conn), received
+}
+
+func TestBatchedModeAmortizesFixedCost(t *testing.T) {
+	meter := core.NewMeter()
+	shim, id, received := batchRig(t, New(), meter, 8)
+	shim.SetBatched(4)
+	for i := 0; i < 8; i++ {
+		if _, err := shim.OCall("net.send", EncodeSend(id, []byte("pkt"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tal := meter.Snapshot()
+	// Two windows of 4: fixed twice, per-packet eight times, no
+	// boundary SGX (the data rides the shared ring).
+	want := uint64(2*core.CostIOCallFixed + 8*core.CostIOPerPacket)
+	if tal.Normal != want {
+		t.Fatalf("normal = %d, want %d", tal.Normal, want)
+	}
+	if tal.SGXU != 0 {
+		t.Fatalf("batched sends charged %d SGX, want 0", tal.SGXU)
+	}
+	if got := <-received; got != 8 {
+		t.Fatalf("sink received %d/8", got)
+	}
+
+	// Disabling restores per-call accounting, boundary SGX included.
+	shim.SetBatched(1)
+	meter.Reset()
+	if _, err := shim.OCall("net.send", EncodeSend(id, []byte("pkt"))); err != nil {
+		t.Fatal(err)
+	}
+	tal = meter.Snapshot()
+	if tal.Normal != core.CostIOCallFixed+core.CostIOPerPacket || tal.SGXU != core.SGXInstIOPerPacket {
+		t.Fatalf("sync send after disable: %+v", tal)
+	}
+}
+
+func TestBatchedModeZeroLengthBatch(t *testing.T) {
+	meter := core.NewMeter()
+	shim, id, _ := batchRig(t, New(), meter, 0)
+	shim.SetBatched(4)
+	// A zero-length net.batch in batched mode charges nothing — there
+	// is no call boundary to pay for.
+	if _, err := shim.OCall("net.batch", EncodeBatch(id, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if tal := meter.Snapshot(); tal != (core.Tally{}) {
+		t.Fatalf("zero-length batch charged %+v", tal)
+	}
+	// Flushing with no open window is also free.
+	shim.FlushBatch()
+	if tal := meter.Snapshot(); tal != (core.Tally{}) {
+		t.Fatalf("empty flush charged %+v", tal)
+	}
+}
+
+func TestBatchedModeFlushClosesWindow(t *testing.T) {
+	meter := core.NewMeter()
+	shim, id, received := batchRig(t, New(), meter, 3)
+	shim.SetBatched(4)
+	shim.OCall("net.send", EncodeSend(id, []byte("a")))
+	shim.OCall("net.send", EncodeSend(id, []byte("b")))
+	shim.FlushBatch()
+	shim.OCall("net.send", EncodeSend(id, []byte("c")))
+	tal := meter.Snapshot()
+	// The flush closed the half-full window, so the third send opens a
+	// new one: fixed charged twice for three packets.
+	want := uint64(2*core.CostIOCallFixed + 3*core.CostIOPerPacket)
+	if tal.Normal != want {
+		t.Fatalf("normal = %d, want %d", tal.Normal, want)
+	}
+	if got := <-received; got != 3 {
+		t.Fatalf("sink received %d/3", got)
+	}
+}
+
+// ringShimEnclave builds an enclave whose OCALLs ride an xcall ring in
+// front of a batched shim — the full switchless send path.
+func ringShimEnclave(t *testing.T, n *Network, cfg xcall.Config, count int) (*core.Enclave, *xcall.OCallRing, *IOShim, uint32, chan int) {
+	t.Helper()
+	plat, err := core.NewPlatform("ring-src", core.PlatformConfig{EPCFrames: 64, Seed: []byte("ring-src")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := core.NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := plat.Launch(&core.Program{
+		Name: "ring-sender", Version: "1",
+		Handlers: map[string]core.Handler{"noop": func(env *core.Env, arg []byte) ([]byte, error) { return nil, nil }},
+	}, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := n.AddHostWithPlatform("src", plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := n.AddHost("dst", core.PlatformConfig{EPCFrames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := dst.Listen("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := make(chan int, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			received <- 0
+			return
+		}
+		got := 0
+		for got < count {
+			if _, err := c.Recv(); err != nil {
+				break
+			}
+			got++
+		}
+		received <- got
+	}()
+	shim := NewIOShim(src, enc.Meter())
+	ring := xcall.NewOCallRing(enc, shim, cfg)
+	enc.BindHost(ring)
+	enc.SetSwitchlessOCalls(true)
+	conn, err := src.Dial("dst", "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := shim.Adopt(conn)
+	shim.SetBatched(cfg.WithDefaults().Batch)
+	enc.Meter().Reset()
+	return enc, ring, shim, id, received
+}
+
+func TestBatchedRingFullFallback(t *testing.T) {
+	// Capacity below the batch target: the ring fills and later sends
+	// fall back to synchronous crossings even though the shim stays in
+	// batched mode.
+	const sends = 6
+	enc, ring, _, id, received := ringShimEnclave(t, New(),
+		xcall.Config{Capacity: 2, Batch: 8, SpinBudget: 1000}, sends)
+	for i := 0; i < sends; i++ {
+		if _, err := ring.OCall("net.send", EncodeSend(id, []byte("pkt"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ring.Stats()
+	// Send 1 doorbell, sends 2–3 enqueue, sends 4–6 ring-full.
+	if st.ParkedFallbacks != 1 || st.Calls != 2 || st.FullFallbacks != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Crossings: 4 fallbacks × EEXIT/ERESUME, no drains yet.
+	if tal := enc.Meter().Snapshot(); tal.SGXU != 8 {
+		t.Fatalf("SGX = %d, want 8", tal.SGXU)
+	}
+	if got := <-received; got != sends {
+		t.Fatalf("sink received %d/%d", got, sends)
+	}
+}
+
+func TestBatchedModeUnderPartitionMidBatch(t *testing.T) {
+	// A partition cuts src↔dst partway through the window. Sends keep
+	// succeeding from the enclave's perspective (the loss is silent),
+	// charges stay fully deterministic, and the fault engine records
+	// the partition drops.
+	run := func() (core.Tally, xcall.Stats, uint64) {
+		n := New()
+		n.SetFaults(NewFaultSchedule(42).AddPartition(Partition{
+			A: []string{"src"}, B: []string{"dst"},
+			FromMessage: 4, UntilMessage: 1 << 62,
+		}))
+		enc, ring, shim, id, received := ringShimEnclave(t, n,
+			xcall.Config{Capacity: 16, Batch: 4, SpinBudget: 1000}, 0)
+		for i := 0; i < 8; i++ {
+			if _, err := ring.OCall("net.send", EncodeSend(id, []byte("pkt"))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ring.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		shim.FlushBatch()
+		if got := <-received; got != 0 {
+			// The sink counts toward 0, so it reports immediately; the
+			// partition guarantees no packet is double-counted anyway.
+			t.Fatalf("sink received %d", got)
+		}
+		return enc.Meter().Snapshot(), ring.Stats(), n.Faults().Stats().Partitioned
+	}
+	t1, s1, drops1 := run()
+	t2, s2, drops2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("nondeterministic under partition: %+v/%+v vs %+v/%+v", t1, s1, t2, s2)
+	}
+	if drops1 != drops2 || drops1 == 0 {
+		t.Fatalf("partition drops: %d vs %d", drops1, drops2)
+	}
+	if s1.Calls == 0 || s1.Drains == 0 {
+		t.Fatalf("ring never went switchless: %+v", s1)
+	}
+}
+
+func TestBatchedModeUnderDropMidBatch(t *testing.T) {
+	// DropProb=1 discards every packet mid-flight; the send path (ring
+	// accounting + windowed charges) must be oblivious: identical meter
+	// tallies with and without the schedule.
+	tally := func(faulty bool) core.Tally {
+		n := New()
+		if faulty {
+			n.SetFaults(NewFaultSchedule(7).AddLink(LinkFaults{From: "src", To: "dst", DropProb: 1}))
+		}
+		enc, ring, shim, id, _ := ringShimEnclave(t, n,
+			xcall.Config{Capacity: 16, Batch: 4, SpinBudget: 1000}, 0)
+		for i := 0; i < 9; i++ {
+			if _, err := ring.OCall("net.send", EncodeSend(id, []byte("pkt"))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ring.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		shim.FlushBatch()
+		return enc.Meter().Snapshot()
+	}
+	clean, dropped := tally(false), tally(true)
+	if clean != dropped {
+		t.Fatalf("drop schedule changed send-side charges: %+v vs %+v", clean, dropped)
+	}
+}

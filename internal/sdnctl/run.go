@@ -9,6 +9,7 @@ import (
 	"sgxnet/internal/netsim"
 	"sgxnet/internal/obs"
 	"sgxnet/internal/topo"
+	"sgxnet/internal/xcall"
 )
 
 // End-to-end deployment drivers for the evaluation: RunSGX and RunNative
@@ -40,6 +41,16 @@ type RunReport struct {
 	Retries    int
 	Reattests  int
 	FaultStats netsim.FaultStats
+
+	// QuoteServing is the controller-host quoting enclave's tally over
+	// the attestation phase — quote serving only, launch excluded. It is
+	// the crossing-cost metric the xcall ablation compares: every quote
+	// costs 17 SGX(U) synchronously (Table 1), fewer when the serve
+	// ECALLs and message OCALLs ride rings (RunSGXSwitchlessQuotes).
+	QuoteServing core.Tally
+	// QuoteXcall is the quoting agent's ring tally when quote serving
+	// runs switchlessly; zero otherwise.
+	QuoteXcall xcall.Stats
 }
 
 // ASLocalAvg averages the AS-local tallies.
@@ -67,7 +78,7 @@ func RunSGX(t *topo.Topology) (*RunReport, error) {
 // live controller and AS-local controllers to extra — for predicate
 // registration/verification (§3.1) or dynamic reconfiguration.
 func RunSGXWithPredicates(t *topo.Topology, extra func(ctl *Controller, locals []*ASLocal) error) (*RunReport, error) {
-	return runSGX(t, nil, nil, extra, nil, "")
+	return runSGX(t, nil, nil, extra, nil, "", nil)
 }
 
 // RunSGXTraced is RunSGX with spans on the given track: a "setup" span
@@ -79,7 +90,17 @@ func RunSGXWithPredicates(t *topo.Topology, extra func(ctl *Controller, locals [
 // host gets its own "<track>/qe" track. The track must be private to
 // this run.
 func RunSGXTraced(t *topo.Topology, tr *obs.Trace, track string) (*RunReport, error) {
-	return runSGX(t, nil, nil, nil, tr, track)
+	return runSGX(t, nil, nil, nil, tr, track, nil)
+}
+
+// RunSGXSwitchlessQuotes is RunSGX with the controller host's quoting
+// enclave serving switchlessly: serve ECALLs and the QE's message
+// OCALLs ride xcall rings sized by xc, and the message shim charges in
+// batched windows. The report's QuoteServing/QuoteXcall fields carry
+// the amortized crossing tally the -xcall-sweep ablation compares
+// against the synchronous 17-SGX(U)-per-quote baseline.
+func RunSGXSwitchlessQuotes(t *topo.Topology, xc xcall.Config) (*RunReport, error) {
+	return runSGX(t, nil, nil, nil, nil, "", &xc)
 }
 
 // RunSGXFaulted runs the SGX deployment under a fault schedule with every
@@ -87,7 +108,7 @@ func RunSGXTraced(t *topo.Topology, tr *obs.Trace, track string) (*RunReport, er
 // receives time out, and lost channels are re-attested. The schedule is
 // installed before the attestation phase, so it disturbs the entire run.
 func RunSGXFaulted(t *topo.Topology, fs *netsim.FaultSchedule, pol attest.RetryPolicy) (*RunReport, error) {
-	return runSGX(t, fs, &pol, nil, nil, "")
+	return runSGX(t, fs, &pol, nil, nil, "", nil)
 }
 
 // RunSGXFaultedTraced is RunSGXFaulted with tracing: in addition to the
@@ -102,10 +123,10 @@ func RunSGXFaultedTraced(t *topo.Topology, fs *netsim.FaultSchedule, pol attest.
 		rec.RecordSchedule(fs.Seed(), fs.String())
 		fs.SetObserver(rec)
 	}
-	return runSGX(t, fs, &pol, nil, tr, track)
+	return runSGX(t, fs, &pol, nil, tr, track, nil)
 }
 
-func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy, extra func(ctl *Controller, locals []*ASLocal) error, tr *obs.Trace, track string) (*RunReport, error) {
+func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy, extra func(ctl *Controller, locals []*ASLocal) error, tr *obs.Trace, track string, xc *xcall.Config) (*RunReport, error) {
 	n := t.N()
 	net := netsim.New()
 	arch, err := core.NewSigner()
@@ -132,6 +153,12 @@ func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy,
 		// quoting enclave serves one request at a time — safe on one track.
 		agent.SetTrace(tr, track+"/qe")
 	}
+	if xc != nil {
+		agent.SetXcall(*xc)
+	}
+	// QuoteServing measures serving only: drain whatever quoting-enclave
+	// launch charged before any requester connects.
+	agent.QE.Meter().Reset()
 	signer, err := core.NewSigner()
 	if err != nil {
 		return nil, err
@@ -180,6 +207,13 @@ func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy,
 		attestations++
 		tr.Event(track, "attest.established", map[string]string{"as": fmt.Sprint(asl.ASN)})
 	}
+	// The attestation phase is the quoting enclave's whole workload:
+	// drain its rings at the boundary and capture its serving tally.
+	if err := agent.FlushXcall(); err != nil {
+		return nil, err
+	}
+	quoteServing := agent.QE.Meter().Snapshot()
+	quoteXcall := agent.XcallStats()
 
 	// Steady state begins here: drain every meter so launch/attestation
 	// costs are excluded, as in Table 4. SnapshotAndReset (not
@@ -229,6 +263,8 @@ func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy,
 		Stats:        ctl.State.Stats(),
 		RIBs:         ctl.State.RIBs(),
 		Installed:    make(map[int][]bgp.Route, n),
+		QuoteServing: quoteServing,
+		QuoteXcall:   quoteXcall,
 	}
 	for _, asl := range locals {
 		rep.ASLocal = append(rep.ASLocal, asl.Enclave.Meter().Snapshot())

@@ -11,6 +11,7 @@ import (
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
 	"sgxnet/internal/sgxcrypto"
+	"sgxnet/internal/xcall"
 )
 
 // ORService is the netsim service onion routers listen on.
@@ -321,8 +322,17 @@ type OR struct {
 	attestShim *netsim.IOShim      // control-plane shim for attestation
 	tstate     *attest.TargetState // attestation target (SGX ORs)
 
+	// Switchless relaying (ORConfig.Xcall): inbound cells enter through
+	// callRing instead of Enclave.Call; outbound cells leave through
+	// sendRing + the batched data-plane shim instead of per-cell
+	// crossings. Attestation traffic (attestShim, msg.*) stays on the
+	// synchronous path — admission is control-plane, not hot.
+	callRing *xcall.CallRing
+	sendRing *xcall.OCallRing
+
 	mu       sync.Mutex
 	links    map[uint32]*netsim.Conn
+	shimIDs  map[uint32]uint32 // link → data-plane shim connID (switchless sends)
 	nextLink uint32
 	listener *netsim.Listener
 	meter    *core.Meter
@@ -388,6 +398,10 @@ type ORConfig struct {
 	Guard bool
 	// ExitPolicy restricts an exit's destinations.
 	ExitPolicy ExitPolicy
+	// Xcall, when non-nil and SGX is set, routes cell relaying through
+	// switchless rings sized by this config instead of one
+	// EENTER/EEXIT (in) and one EEXIT/ERESUME (out) per cell.
+	Xcall *xcall.Config
 }
 
 // LaunchOR starts an onion router on the host.
@@ -491,17 +505,36 @@ func (o *OR) launchEnclave(cfg ORConfig) error {
 	mh.Mount("tor.", core.HostFunc(o.torOCall))
 	enc.BindHost(&mh)
 	// Enclave-side I/O callbacks.
-	o.state.send = func(m *core.Meter, link uint32, cell []byte) error {
-		o.mu.Lock()
-		conn := o.links[link]
-		o.mu.Unlock()
-		if conn == nil {
-			return fmt.Errorf("tor: %s: unknown link %d", o.Name, link)
+	if cfg.Xcall != nil {
+		xc := cfg.Xcall.WithDefaults()
+		o.callRing = xcall.NewCallRing(enc, xc)
+		o.sendRing = xcall.NewOCallRing(enc, o.shim, xc)
+		o.shim.SetBatched(xc.Batch)
+		o.shimIDs = make(map[uint32]uint32)
+		// Switchless send: the cell rides the shared ring to the
+		// untrusted data-plane shim — ring ops plus the shim's windowed
+		// batched charges; no per-cell crossing.
+		o.state.send = func(m *core.Meter, link uint32, cell []byte) error {
+			id, err := o.shimConnID(link)
+			if err != nil {
+				return err
+			}
+			_, err = o.sendRing.OCall("net.send", netsim.EncodeSend(id, cell))
+			return err
 		}
-		// Data-plane send through the enclave boundary (Table 2 costs).
-		m.ChargeNormal(core.CostIOCallFixed + core.CostIOPerPacket)
-		m.ChargeSGX(core.SGXInstIOPerPacket + 2) // packet crossing + EEXIT/ERESUME
-		return conn.Send(cell)
+	} else {
+		o.state.send = func(m *core.Meter, link uint32, cell []byte) error {
+			o.mu.Lock()
+			conn := o.links[link]
+			o.mu.Unlock()
+			if conn == nil {
+				return fmt.Errorf("tor: %s: unknown link %d", o.Name, link)
+			}
+			// Data-plane send through the enclave boundary (Table 2 costs).
+			m.ChargeNormal(core.CostIOCallFixed + core.CostIOPerPacket)
+			m.ChargeSGX(core.SGXInstIOPerPacket + 2) // packet crossing + EEXIT/ERESUME
+			return conn.Send(cell)
+		}
 	}
 	o.state.dial = func(m *core.Meter, orHost string) (uint32, error) {
 		m.ChargeSGX(2) // OCALL to the untrusted dialer
@@ -513,6 +546,60 @@ func (o *OR) launchEnclave(cfg ORConfig) error {
 		return o.doStream(dest, req)
 	}
 	return nil
+}
+
+// shimConnID maps a cell link to its data-plane shim connID, adopting
+// the connection into the shim on first use (switchless sends address
+// connections the shim way).
+func (o *OR) shimConnID(link uint32) (uint32, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if id, ok := o.shimIDs[link]; ok {
+		return id, nil
+	}
+	conn := o.links[link]
+	if conn == nil {
+		return 0, fmt.Errorf("tor: %s: unknown link %d", o.Name, link)
+	}
+	id := o.shim.Adopt(conn)
+	o.shimIDs[link] = id
+	return id, nil
+}
+
+// enterCell feeds one inbound cell to the enclave, switchlessly when a
+// call ring is configured.
+func (o *OR) enterCell(arg []byte) error {
+	if o.callRing != nil {
+		_, err := o.callRing.Call("or.cell", arg)
+		return err
+	}
+	_, err := o.enclave.Call("or.cell", arg)
+	return err
+}
+
+// FlushXcall drains the OR's rings and closes the shim's send window
+// at a phase boundary (measurement snapshot, teardown). No-op for
+// synchronous ORs.
+func (o *OR) FlushXcall() error {
+	if o.callRing == nil {
+		return nil
+	}
+	if err := o.callRing.Flush(); err != nil {
+		return err
+	}
+	if err := o.sendRing.Flush(); err != nil {
+		return err
+	}
+	o.shim.FlushBatch()
+	return nil
+}
+
+// XcallStats sums the OR's ring tallies (zero when synchronous).
+func (o *OR) XcallStats() xcall.Stats {
+	if o.callRing == nil {
+		return xcall.Stats{}
+	}
+	return o.callRing.Stats().Add(o.sendRing.Stats())
 }
 
 // torOCall serves the enclave's tor.* host services (unused paths kept
@@ -597,7 +684,7 @@ func (o *OR) pump(link uint32, conn *netsim.Conn) {
 			arg := make([]byte, 4+len(raw))
 			binary.LittleEndian.PutUint32(arg[:4], link)
 			copy(arg[4:], raw)
-			if _, err := o.enclave.Call("or.cell", arg); err != nil {
+			if err := o.enterCell(arg); err != nil {
 				continue // a bad cell must not kill the pump
 			}
 		} else {
@@ -629,7 +716,7 @@ func (o *OR) serveConn(conn *netsim.Conn) {
 		arg := make([]byte, 4+len(first))
 		binary.LittleEndian.PutUint32(arg[:4], link)
 		copy(arg[4:], first)
-		o.enclave.Call("or.cell", arg)
+		o.enterCell(arg)
 	} else {
 		o.state.onCell(o.meter, link, first)
 	}

@@ -7,6 +7,7 @@ import (
 	"sgxnet/internal/chord"
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/xcall"
 )
 
 // Deployment orchestration for the paper's three phases (§3.2):
@@ -58,6 +59,10 @@ type NetworkConfig struct {
 	Relays      int // non-exit ORs
 	Exits       int
 	Seed        int64
+
+	// Xcall, when non-nil, makes every SGX OR relay cells switchlessly
+	// through xcall rings sized by this config (see ORConfig.Xcall).
+	Xcall *xcall.Config
 }
 
 // TorNet is a deployed Tor network.
@@ -133,7 +138,7 @@ func Deploy(cfg NetworkConfig) (*TorNet, error) {
 	for i := 0; i < cfg.Relays+cfg.Exits; i++ {
 		exit := i >= cfg.Relays
 		name := fmt.Sprintf("or%d", i)
-		if _, err := tn.AddOR(ORConfig{Name: name, Exit: exit, SGX: sgxORs, Behavior: BehaveHonest}); err != nil {
+		if _, err := tn.AddOR(ORConfig{Name: name, Exit: exit, SGX: sgxORs, Behavior: BehaveHonest, Xcall: cfg.Xcall}); err != nil {
 			return nil, err
 		}
 	}
@@ -217,6 +222,38 @@ func (tn *TorNet) AddOR(cfg ORConfig) (*OR, error) {
 		}
 	}
 	return o, nil
+}
+
+// FlushXcall drains every OR's rings at a phase boundary (no-op for
+// synchronous deployments).
+func (tn *TorNet) FlushXcall() error {
+	for _, o := range tn.ORs {
+		if err := o.FlushXcall(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// XcallStats sums ring tallies across all ORs (zero when synchronous).
+func (tn *TorNet) XcallStats() xcall.Stats {
+	var st xcall.Stats
+	for _, o := range tn.ORs {
+		st = st.Add(o.XcallStats())
+	}
+	return st
+}
+
+// RelaySGX sums the SGX(U) instruction tally across all OR enclaves —
+// the crossing-cost metric the xcall ablation compares.
+func (tn *TorNet) RelaySGX() uint64 {
+	var sum uint64
+	for _, o := range tn.ORs {
+		if o.Enclave() != nil {
+			sum += o.Enclave().Meter().Snapshot().SGXU
+		}
+	}
+	return sum
 }
 
 // AuthorityHosts lists the authority host names (what clients dial).

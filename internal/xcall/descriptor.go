@@ -1,0 +1,158 @@
+// Package xcall implements switchless enclave calls: bounded
+// shared-memory request rings between untrusted host threads and
+// in-enclave worker loops, replacing the per-call EENTER/EEXIT pair
+// with one amortized crossing per drained batch (HotCalls-style).
+//
+// Determinism: ring occupancy evolves on the call clock — every
+// submission advances the ring's state machine by exactly one step
+// under a mutex, with no wall clock and no real goroutine races in the
+// cost model (like netsim's fault schedules, which evolve on the
+// message clock). The same call sequence always produces the same
+// drains, fallbacks, and meter charges.
+package xcall
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Descriptor is the wire form of one queued call in a ring's shared
+// memory: the slot an untrusted producer writes and the in-enclave
+// worker parses at drain time. Like every cross-boundary format in
+// this repo the decoder is length-checked and fuzzed — the worker must
+// treat ring slots as attacker-controlled, because the host owns the
+// shared memory.
+type Descriptor struct {
+	Kind byte   // DescCall or DescOCall
+	Fn   string // entry point (DescCall) or host service (DescOCall)
+	Arg  []byte
+}
+
+// Descriptor kinds.
+const (
+	// DescCall is a host→enclave call descriptor (ECALL direction).
+	DescCall byte = 1
+	// DescOCall is an enclave→host request descriptor (OCALL direction).
+	DescOCall byte = 2
+)
+
+// Wire-format bounds. A drain hands the worker at most MaxBatch
+// descriptors (rings clamp their configured capacity to this), a
+// function name fits one length byte, and an argument is capped well
+// above any cell/record/report this repo moves — oversized arguments
+// don't fit a ring slot and fall back to a synchronous crossing
+// instead (see ring.submit).
+const (
+	MaxBatch    = 1024
+	MaxFnLen    = 255
+	MaxArgBytes = 1 << 20
+)
+
+// descHeaderLen is kind(1) + fnLen(1) + argLen(4).
+const descHeaderLen = 6
+
+// batchHeaderLen is the descriptor count prefix of a batch frame.
+const batchHeaderLen = 4
+
+// ErrDescriptor is wrapped by all decode failures.
+var ErrDescriptor = errors.New("xcall: bad descriptor")
+
+// AppendDescriptor appends the canonical encoding of d to b:
+// kind(1) ‖ fnLen(1) ‖ fn ‖ argLen(4) ‖ arg.
+// The caller must have validated the bounds (the rings do, falling
+// back to a synchronous call for anything that does not fit a slot).
+func AppendDescriptor(b []byte, d Descriptor) []byte {
+	b = append(b, d.Kind, byte(len(d.Fn)))
+	b = append(b, d.Fn...)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(d.Arg)))
+	b = append(b, n[:]...)
+	return append(b, d.Arg...)
+}
+
+// fits reports whether d is encodable within the wire-format bounds.
+func fits(d Descriptor) bool {
+	return (d.Kind == DescCall || d.Kind == DescOCall) &&
+		len(d.Fn) <= MaxFnLen && len(d.Arg) <= MaxArgBytes
+}
+
+// decodeOne parses one descriptor from the front of b and returns the
+// remainder.
+func decodeOne(b []byte) (Descriptor, []byte, error) {
+	if len(b) < descHeaderLen {
+		return Descriptor{}, nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrDescriptor, len(b))
+	}
+	kind := b[0]
+	if kind != DescCall && kind != DescOCall {
+		return Descriptor{}, nil, fmt.Errorf("%w: unknown kind %d", ErrDescriptor, kind)
+	}
+	fnLen := int(b[1])
+	if len(b) < 2+fnLen+4 {
+		return Descriptor{}, nil, fmt.Errorf("%w: truncated name", ErrDescriptor)
+	}
+	fn := string(b[2 : 2+fnLen])
+	argLen := binary.BigEndian.Uint32(b[2+fnLen : 2+fnLen+4])
+	if argLen > MaxArgBytes {
+		return Descriptor{}, nil, fmt.Errorf("%w: argument %d bytes exceeds slot", ErrDescriptor, argLen)
+	}
+	rest := b[2+fnLen+4:]
+	if uint64(len(rest)) < uint64(argLen) {
+		return Descriptor{}, nil, fmt.Errorf("%w: truncated argument", ErrDescriptor)
+	}
+	var arg []byte
+	if argLen > 0 {
+		arg = rest[:argLen:argLen]
+	}
+	return Descriptor{Kind: kind, Fn: fn, Arg: arg}, rest[argLen:], nil
+}
+
+// MarshalBatch encodes a drain frame: count(4) ‖ descriptors. It
+// returns an error if the batch or any descriptor exceeds the wire
+// bounds — producers check fits() per slot, so a failure here is a
+// programming error, not host input.
+func MarshalBatch(descs []Descriptor) ([]byte, error) {
+	if len(descs) > MaxBatch {
+		return nil, fmt.Errorf("%w: batch of %d exceeds MaxBatch %d", ErrDescriptor, len(descs), MaxBatch)
+	}
+	b := make([]byte, batchHeaderLen, batchHeaderLen+len(descs)*descHeaderLen)
+	binary.BigEndian.PutUint32(b, uint32(len(descs)))
+	for _, d := range descs {
+		if !fits(d) {
+			return nil, fmt.Errorf("%w: descriptor %q out of bounds", ErrDescriptor, d.Fn)
+		}
+		b = AppendDescriptor(b, d)
+	}
+	return b, nil
+}
+
+// UnmarshalBatch parses a drain frame produced by MarshalBatch (or by
+// a hostile host — every bound is checked). Trailing bytes after the
+// last descriptor are rejected: the frame length is part of the
+// handoff.
+func UnmarshalBatch(b []byte) ([]Descriptor, error) {
+	if len(b) < batchHeaderLen {
+		return nil, fmt.Errorf("%w: truncated batch header", ErrDescriptor)
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n > MaxBatch {
+		return nil, fmt.Errorf("%w: batch of %d exceeds MaxBatch %d", ErrDescriptor, n, MaxBatch)
+	}
+	rest := b[batchHeaderLen:]
+	descs := make([]Descriptor, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var (
+			d   Descriptor
+			err error
+		)
+		d, rest, err = decodeOne(rest)
+		if err != nil {
+			return nil, fmt.Errorf("descriptor %d: %w", i, err)
+		}
+		descs = append(descs, d)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrDescriptor, len(rest))
+	}
+	return descs, nil
+}

@@ -1,0 +1,50 @@
+package xcall
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRingDescriptor fuzzes the drain-frame decoder — the boundary
+// where the in-enclave worker parses host-owned shared memory. The
+// invariants: never panic, reject anything out of bounds, and accept
+// only frames whose canonical re-encoding is byte-identical (no
+// malleability: two distinct frames cannot decode to the same batch).
+func FuzzRingDescriptor(f *testing.F) {
+	genuine, err := MarshalBatch([]Descriptor{
+		{Kind: DescCall, Fn: "or.cell", Arg: []byte("cell-payload")},
+		{Kind: DescOCall, Fn: "net.send", Arg: []byte{1, 2, 3}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(genuine)
+	f.Add(genuine[:len(genuine)-4])             // truncated
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})       // oversized batch count
+	f.Add([]byte{0, 0, 0, 1, 7, 0, 0, 0, 0, 0}) // bad descriptor kind
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		descs, err := UnmarshalBatch(data)
+		if err != nil {
+			return
+		}
+		if len(descs) > MaxBatch {
+			t.Fatalf("accepted batch of %d > MaxBatch", len(descs))
+		}
+		for i, d := range descs {
+			if d.Kind != DescCall && d.Kind != DescOCall {
+				t.Fatalf("descriptor %d: accepted kind %d", i, d.Kind)
+			}
+			if len(d.Fn) > MaxFnLen || len(d.Arg) > MaxArgBytes {
+				t.Fatalf("descriptor %d: accepted out-of-bounds lengths", i)
+			}
+		}
+		again, err := MarshalBatch(descs)
+		if err != nil {
+			t.Fatalf("re-encode of accepted batch failed: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("accepted non-canonical frame:\n in: %x\nout: %x", data, again)
+		}
+	})
+}
