@@ -21,6 +21,18 @@ import (
 	"sgxnet/internal/sdnctl"
 )
 
+// benchWorkerCounts is the worker-count axis for the engine benches: 1
+// and GOMAXPROCS. On a single-core runner the two collapse to the same
+// count; emitting "workers=1" twice would make go test disambiguate the
+// second as "workers=1#01", which then lands in BENCH_results.json as a
+// duplicate key — so the collapsed case runs once.
+func benchWorkerCounts() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
 // BenchmarkFullSweep runs the Figure 3 sweep — the transcript's dominant
 // workload — through the evaluation engine at worker counts 1 and
 // GOMAXPROCS. The ratio of the two ns/op numbers is the engine's
@@ -28,7 +40,7 @@ import (
 // caller-runs pool degrades to serial by design); BENCH_results.json
 // records both.
 func BenchmarkFullSweep(b *testing.B) {
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			r := eval.NewRunner(workers)
 			b.ReportAllocs()
@@ -167,7 +179,7 @@ func BenchmarkFigure3Scaling(b *testing.B) {
 // overhead as a custom metric so BENCH_results.json tracks the paging
 // penalty over time.
 func BenchmarkEPCSweep(b *testing.B) {
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			r := eval.NewRunner(workers)
 			b.ReportAllocs()
@@ -194,7 +206,7 @@ func BenchmarkEPCSweep(b *testing.B) {
 // the batch ≥16 points as a custom metric — the acceptance bar is 2×,
 // so BENCH_results.json tracks how much headroom the ring model keeps.
 func BenchmarkXcallSweep(b *testing.B) {
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			r := eval.NewRunner(workers)
 			b.ReportAllocs()
@@ -215,6 +227,37 @@ func BenchmarkXcallSweep(b *testing.B) {
 				}
 			}
 			b.ReportMetric(minSpeedup, "min-speedup-x")
+		})
+	}
+}
+
+// BenchmarkLoadSweep regenerates the open-loop load sweep at worker
+// counts 1 and GOMAXPROCS, and reports the worst tail amplification
+// (max p999/p50 across the grid) as a custom metric — the number that
+// would regress first if a model change put hidden cost spikes on a
+// request path.
+func BenchmarkLoadSweep(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := eval.NewRunner(workers)
+			b.ReportAllocs()
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				pts, err := r.LoadSweep()
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst = 0
+				for _, p := range pts {
+					if p.P50 == 0 {
+						continue
+					}
+					if amp := float64(p.P999) / float64(p.P50); amp > worst {
+						worst = amp
+					}
+				}
+			}
+			b.ReportMetric(worst, "worst-p999/p50-x")
 		})
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -71,11 +72,7 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Command:    "go " + strings.Join(args, " "),
 	}
-	for _, line := range strings.Split(string(raw), "\n") {
-		if r, ok := parseLine(line); ok {
-			rep.Results = append(rep.Results, r)
-		}
-	}
+	rep.Results = parseResults(string(raw))
 	if len(rep.Results) == 0 {
 		log.Fatal("no benchmark lines parsed")
 	}
@@ -88,6 +85,33 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+// collisionSuffix matches the "#01"-style disambiguator go test appends
+// when two sub-benchmarks resolve to the same name (e.g. a workers=1
+// and a workers=GOMAXPROCS run collapsing on a single-core machine).
+var collisionSuffix = regexp.MustCompile(`#\d+`)
+
+// parseResults decodes every benchmark line, dropping collision
+// duplicates: a "Name#01" line reruns the same benchmark as "Name", and
+// keeping both would put two entries under one logical key in the JSON
+// (the first run is the one diff tooling expects).
+func parseResults(raw string) []Result {
+	var out []Result
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(raw, "\n") {
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		key := collisionSuffix.ReplaceAllString(r.Name, "")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, r)
+	}
+	return out
 }
 
 // parseLine decodes one line of standard go-test benchmark output:

@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkFullSweep/workers=1-8   5   1234567 ns/op   56 B/op   7 allocs/op   3.14 worst-x")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkFullSweep/workers=1-8" || r.Iterations != 5 ||
+		r.NsPerOp != 1234567 || r.BytesPerOp != 56 || r.AllocsPerOp != 7 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["worst-x"] != 3.14 {
+		t.Fatalf("custom metric missing: %+v", r.Metrics)
+	}
+	for _, junk := range []string{"", "goos: linux", "PASS", "Benchmark   notanumber   1 ns/op"} {
+		if _, ok := parseLine(junk); ok {
+			t.Errorf("parsed junk line %q", junk)
+		}
+	}
+}
+
+// TestParseResultsDedupesCollisions is the regression test for the
+// BENCH_results.json duplicate: on a single-core runner the workers=1
+// and workers=GOMAXPROCS sub-benchmarks collide, go test renames the
+// rerun "workers=1#01", and both lines used to land in the file. Only
+// the first may survive.
+func TestParseResultsDedupes(t *testing.T) {
+	raw := `goos: linux
+BenchmarkFullSweep/workers=1-2         	       1	9000 ns/op	   100 B/op	       2 allocs/op
+BenchmarkFullSweep/workers=1#01-2      	       1	9100 ns/op	   100 B/op	       2 allocs/op
+BenchmarkEPCSweep/workers=1-2          	       2	4000 ns/op	3.50 worst-overhead-x
+BenchmarkEPCSweep/workers=1#01-2       	       2	4100 ns/op	3.50 worst-overhead-x
+BenchmarkEPCSweep/workers=8-2          	       2	1000 ns/op	3.50 worst-overhead-x
+PASS
+`
+	results := parseResults(raw)
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(results), results)
+	}
+	want := []string{
+		"BenchmarkFullSweep/workers=1-2",
+		"BenchmarkEPCSweep/workers=1-2",
+		"BenchmarkEPCSweep/workers=8-2",
+	}
+	for i, w := range want {
+		if results[i].Name != w {
+			t.Errorf("result %d = %q, want %q", i, results[i].Name, w)
+		}
+	}
+	// The kept line must be the first run, not the #01 rerun.
+	if results[0].NsPerOp != 9000 {
+		t.Errorf("kept the rerun instead of the first run: %+v", results[0])
+	}
+}

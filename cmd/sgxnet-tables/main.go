@@ -9,6 +9,7 @@
 //	sgxnet-tables -ablations       # ablation experiments only
 //	sgxnet-tables -epc-sweep       # EPC oversubscription sweep only
 //	sgxnet-tables -xcall-sweep     # switchless-call crossing ablation only
+//	sgxnet-tables -load-sweep      # open-loop load sweep (latency percentiles)
 //	sgxnet-tables -faults          # fault-tolerance sweep (wall-clock sensitive)
 //	sgxnet-tables -workers 8       # evaluation-engine parallelism (0 = GOMAXPROCS)
 //	sgxnet-tables -trace out.trace # also record a deterministic trace (JSONL)
@@ -39,6 +40,7 @@ type options struct {
 	ablations   bool
 	epcSweep    bool
 	xcallSweep  bool
+	loadSweep   bool
 	faults      bool
 	csv         bool
 	workers     int    // evaluation-engine parallelism; 0 = GOMAXPROCS
@@ -50,7 +52,7 @@ type options struct {
 // sweep races real timeouts against goroutine scheduling, so its numbers
 // are not byte-reproducible; it only runs on request.
 func (o options) all() bool {
-	return o.table == 0 && o.fig == 0 && !o.ablations && !o.epcSweep && !o.xcallSweep && !o.faults
+	return o.table == 0 && o.fig == 0 && !o.ablations && !o.epcSweep && !o.xcallSweep && !o.loadSweep && !o.faults
 }
 
 // emit writes the selected sections. Each section is an independent
@@ -173,6 +175,16 @@ func emit(w io.Writer, o options) error {
 			return nil
 		}))
 	}
+	if o.loadSweep || o.all() {
+		sections = append(sections, section("load sweep", func(w io.Writer) error {
+			pts, err := r.LoadSweep()
+			if err != nil {
+				return err
+			}
+			eval.RenderLoadSweep(w, pts)
+			return nil
+		}))
+	}
 	if o.faults {
 		sections = append(sections, func() ([]byte, error) {
 			fpts, err := r.FaultTolerance(nil, 0)
@@ -232,6 +244,7 @@ func main() {
 	flag.BoolVar(&o.ablations, "ablations", false, "run only the ablation experiments")
 	flag.BoolVar(&o.epcSweep, "epc-sweep", false, "run only the EPC oversubscription sweep (multi-tenant paging overhead)")
 	flag.BoolVar(&o.xcallSweep, "xcall-sweep", false, "run only the switchless-call ablation (ring batching vs synchronous crossings)")
+	flag.BoolVar(&o.loadSweep, "load-sweep", false, "run only the open-loop load sweep (latency percentiles under seeded arrivals)")
 	flag.BoolVar(&o.faults, "faults", false, "run the fault-tolerance sweep (timing-dependent, excluded from -ablations and the default run)")
 	flag.BoolVar(&o.csv, "csv", false, "emit Figure 3 as CSV (for plotting) instead of the text chart")
 	flag.IntVar(&o.workers, "workers", 0, "evaluation-engine worker pool size; 0 = GOMAXPROCS, 1 = serial")

@@ -26,6 +26,7 @@ var goldenCases = []struct {
 	{"ablations", options{ablations: true}},
 	{"epc-sweep", options{epcSweep: true}},
 	{"xcall-sweep", options{xcallSweep: true}},
+	{"load-sweep", options{loadSweep: true}},
 }
 
 func golden(name string) string { return filepath.Join("testdata", name+".golden") }
@@ -71,7 +72,7 @@ func TestGolden(t *testing.T) {
 			golden("all"), b.Bytes(), all)
 	}
 	var concat []byte
-	for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "ablations", "epc-sweep", "xcall-sweep"} {
+	for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "ablations", "epc-sweep", "xcall-sweep", "load-sweep"} {
 		sec, err := os.ReadFile(golden(name))
 		if err != nil {
 			t.Fatalf("missing golden (rerun with -update): %v", err)
@@ -150,6 +151,28 @@ func TestXcallSweepWorkersEquivalence(t *testing.T) {
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
 		t.Errorf("-xcall-sweep at -workers 8 diverges from -workers 1\nserial:\n%s\nparallel:\n%s",
+			serial.Bytes(), parallel.Bytes())
+	}
+}
+
+// TestLoadSweepWorkersEquivalence is the acceptance gate for the
+// open-loop load sweep: latency percentiles, violation counts, and
+// utilization must be byte-identical at -workers 1 and -workers 8 —
+// the histogram merge and per-point rate calibration cannot let the
+// worker count show through.
+func TestLoadSweepWorkersEquivalence(t *testing.T) {
+	if *update {
+		t.Skip("goldens being rewritten")
+	}
+	var serial, parallel bytes.Buffer
+	if err := emit(&serial, options{loadSweep: true, workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := emit(&parallel, options{loadSweep: true, workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("-load-sweep at -workers 8 diverges from -workers 1\nserial:\n%s\nparallel:\n%s",
 			serial.Bytes(), parallel.Bytes())
 	}
 }

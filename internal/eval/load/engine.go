@@ -1,0 +1,132 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/obs"
+)
+
+// Server is one request sink a stream drives. Serve processes logical
+// request i and returns the instruction tally the request consumed —
+// measured, not estimated, typically via Meter.SnapshotAndReset drains
+// around the rig's real protocol calls. Serve is invoked serially in
+// virtual-time order; implementations need no locking.
+type Server interface {
+	Serve(i int) (core.Tally, error)
+}
+
+// ServerFunc adapts a function to the Server interface.
+type ServerFunc func(i int) (core.Tally, error)
+
+// Serve calls f.
+func (f ServerFunc) Serve(i int) (core.Tally, error) { return f(i) }
+
+// StreamConfig is one open-loop request stream: an arrival schedule, a
+// server to drive, and a latency SLO in modeled cycles (0 disables
+// violation counting for the stream).
+type StreamConfig struct {
+	Name string
+	Spec ArrivalSpec
+	Srv  Server
+	SLO  uint64
+}
+
+// StreamResult is the per-stream reduction.
+type StreamResult struct {
+	Name       string
+	Spec       ArrivalSpec
+	Hist       *Hist  // per-request latency (wait + service), cycles
+	Violations uint64 // latencies > SLO (0 if SLO disabled)
+	SLO        uint64
+	Service    core.Tally // summed Serve tallies
+}
+
+// Result is one engine run: per-stream latency distributions plus the
+// combined view across streams.
+type Result struct {
+	Streams  []StreamResult
+	Combined *Hist      // merge of every stream's Hist
+	Makespan uint64     // virtual finish time of the last request
+	Service  core.Tally // summed Serve tallies across streams
+}
+
+// arrival is one scheduled request, tagged with its stream.
+type arrival struct {
+	t      uint64
+	stream int
+	idx    int // per-stream request index
+}
+
+// Run executes the streams against a single FIFO virtual server on the
+// modeled cycle clock: requests start at max(arrival, server-idle),
+// latency = (start − arrival) + service. Everything is deterministic —
+// schedules come from seeded specs, service tallies from the metered
+// rigs — so identical inputs give identical Results and identical
+// per-request spans on tr's track. Ties (equal arrival times across
+// streams) break by (stream index, request index).
+//
+// The single-server FIFO discipline is deliberate: the modeled platform
+// executes enclave transitions serially per core, and one shared queue
+// is exactly the regime where EPC paging and ring-drain spikes surface
+// in the tail, which is what the sweep exists to show.
+func Run(tr *obs.Trace, trackName string, streams []StreamConfig) (*Result, error) {
+	var sched []arrival
+	spanNames := make([]string, len(streams))
+	for si, st := range streams {
+		times, err := st.Spec.Times()
+		if err != nil {
+			return nil, fmt.Errorf("stream %s: %w", st.Name, err)
+		}
+		for i, t := range times {
+			sched = append(sched, arrival{t: t, stream: si, idx: i})
+		}
+		spanNames[si] = "req." + st.Name
+	}
+	sort.SliceStable(sched, func(i, j int) bool {
+		if sched[i].t != sched[j].t {
+			return sched[i].t < sched[j].t
+		}
+		if sched[i].stream != sched[j].stream {
+			return sched[i].stream < sched[j].stream
+		}
+		return sched[i].idx < sched[j].idx
+	})
+
+	res := &Result{Combined: NewHist()}
+	res.Streams = make([]StreamResult, len(streams))
+	for si, st := range streams {
+		res.Streams[si] = StreamResult{Name: st.Name, Spec: st.Spec, Hist: NewHist(), SLO: st.SLO}
+	}
+
+	var clock uint64 // virtual time the server frees up
+	for _, a := range sched {
+		start := clock
+		if a.t > start {
+			start = a.t
+		}
+		tally, err := streams[a.stream].Srv.Serve(a.idx)
+		if err != nil {
+			return nil, fmt.Errorf("stream %s request %d: %w", streams[a.stream].Name, a.idx, err)
+		}
+		svc := tally.Cycles()
+		finish := start + svc
+		clock = finish
+		lat := finish - a.t
+
+		sr := &res.Streams[a.stream]
+		sr.Hist.Add(lat)
+		sr.Service = sr.Service.Add(tally)
+		if sr.SLO > 0 && lat > sr.SLO {
+			sr.Violations++
+		}
+		res.Service = res.Service.Add(tally)
+		tr.RecordSpanAt(trackName, spanNames[a.stream], start, tally)
+	}
+	res.Makespan = clock
+	for _, sr := range res.Streams {
+		res.Combined.Merge(sr.Hist)
+	}
+	return res, nil
+}

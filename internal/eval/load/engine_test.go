@@ -1,0 +1,162 @@
+package load
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/obs"
+)
+
+// chargeServer returns a server whose every request burns a fixed
+// number of normal instructions on a private meter — so service time is
+// the cost model's honest output, not a literal.
+func chargeServer(normal uint64) Server {
+	m := core.NewMeter()
+	return ServerFunc(func(i int) (core.Tally, error) {
+		m.ChargeNormal(normal)
+		return m.SnapshotAndReset(), nil
+	})
+}
+
+// TestRunQueueing checks the FIFO math by hand. Fixed arrivals every
+// 10 cycles, service 18 cycles (10 normal instructions x 1.8): each
+// request waits 8 cycles longer than the one before.
+func TestRunQueueing(t *testing.T) {
+	streams := []StreamConfig{{
+		Name: "stub",
+		Spec: ArrivalSpec{Kind: Fixed, Rate: 100_000, N: 4}, // every 10 cycles
+		Srv:  chargeServer(10),                              // 18 cycles
+		SLO:  30,
+	}}
+	res, err := Run(nil, "t", streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals 10,20,30,40; finishes 28,46,64,82; latencies 18,26,34,42.
+	want := []uint64{18, 26, 34, 42}
+	h := res.Streams[0].Hist
+	if h.Count() != 4 || h.Max() != 42 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	for i, q := range []float64{0.25, 0.5, 0.75, 1} {
+		if got := h.Quantile(q); got != want[i] {
+			t.Errorf("q=%v: got %d want %d", q, got, want[i])
+		}
+	}
+	if res.Streams[0].Violations != 2 { // 34 and 42 exceed SLO 30
+		t.Errorf("violations = %d, want 2", res.Streams[0].Violations)
+	}
+	if res.Makespan != 82 {
+		t.Errorf("makespan = %d, want 82", res.Makespan)
+	}
+	if res.Service.Cycles() != 4*18 {
+		t.Errorf("service = %d cycles, want 72", res.Service.Cycles())
+	}
+}
+
+// TestRunIdleServer: arrivals slower than service mean zero queueing —
+// latency equals service time exactly.
+func TestRunIdleServer(t *testing.T) {
+	streams := []StreamConfig{{
+		Name: "idle",
+		Spec: ArrivalSpec{Kind: Fixed, Rate: 10, N: 8}, // every 100k cycles
+		Srv:  chargeServer(10),                         // 18 cycles
+	}}
+	res, err := Run(nil, "t", streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Combined.Max() != 18 || res.Combined.Quantile(0) != 18 {
+		t.Fatalf("idle latency spread: min=%d max=%d, want all 18",
+			res.Combined.Quantile(0), res.Combined.Max())
+	}
+	if res.Streams[0].Violations != 0 {
+		t.Fatal("violations counted with SLO disabled")
+	}
+}
+
+// TestRunTwoStreamsInterleave: a second stream shares the FIFO server;
+// ties break by stream order and the combined histogram is the merge.
+func TestRunTwoStreamsInterleave(t *testing.T) {
+	spec := ArrivalSpec{Kind: Fixed, Rate: 100_000, N: 3} // both at 10,20,30
+	streams := []StreamConfig{
+		{Name: "a", Spec: spec, Srv: chargeServer(10)},
+		{Name: "b", Spec: spec, Srv: chargeServer(10)},
+	}
+	res, err := Run(nil, "t", streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Service order: a0,b0,a1,b1,a2,b2 each 18 cycles from t=10.
+	// Finishes 28,46,64,82,100,118; a latencies 18,44,70; b 36,62,88.
+	if got := res.Streams[0].Hist.Max(); got != 70 {
+		t.Errorf("stream a max = %d, want 70", got)
+	}
+	if got := res.Streams[1].Hist.Max(); got != 88 {
+		t.Errorf("stream b max = %d, want 88", got)
+	}
+	if res.Combined.Count() != 6 {
+		t.Errorf("combined count = %d, want 6", res.Combined.Count())
+	}
+}
+
+// TestRunDeterministic: identical inputs must produce identical results
+// and identical trace events, including the per-request spans.
+func TestRunDeterministic(t *testing.T) {
+	build := func() ([]StreamConfig, *obs.Trace) {
+		return []StreamConfig{
+			{Name: "p", Spec: ArrivalSpec{Kind: Poisson, Rate: 50, N: 200, Seed: 77}, Srv: chargeServer(30_000), SLO: 200_000},
+			{Name: "q", Spec: ArrivalSpec{Kind: Bursty, Rate: 10, N: 50, Seed: 8, Period: 500_000, Duty: 0.25}, Srv: chargeServer(10_000)},
+		}, obs.New(nil)
+	}
+	s1, t1 := build()
+	r1, err := Run(t1, "track", s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, t2 := build()
+	r2, err := Run(t2, "track", s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if r1.Combined.Quantile(q) != r2.Combined.Quantile(q) {
+			t.Fatalf("q=%v diverged", q)
+		}
+	}
+	if r1.Makespan != r2.Makespan || r1.Service != r2.Service {
+		t.Fatal("makespan/service diverged")
+	}
+	if !reflect.DeepEqual(t1.Events(), t2.Events()) {
+		t.Fatal("trace events diverged")
+	}
+	ev := t1.Events()
+	if len(ev) != 2*(200+50) {
+		t.Fatalf("expected %d span events, got %d", 2*(200+50), len(ev))
+	}
+}
+
+// TestRunPropagatesErrors: a failing server aborts the run with the
+// stream and request identified.
+func TestRunPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	streams := []StreamConfig{{
+		Name: "bad",
+		Spec: ArrivalSpec{Kind: Fixed, Rate: 100, N: 5},
+		Srv: ServerFunc(func(i int) (core.Tally, error) {
+			if i == 3 {
+				return core.Tally{}, boom
+			}
+			return core.Tally{Normal: 10}, nil
+		}),
+	}}
+	if _, err := Run(nil, "t", streams); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	bad := []StreamConfig{{Name: "x", Spec: ArrivalSpec{Kind: Poisson, Rate: 0, N: 5}}}
+	if _, err := Run(nil, "t", bad); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Package load is the open-loop load engine: seeded arrival processes,
+// a virtual-cycle queueing core, and a deterministic latency-percentile
+// estimator. Everything the paper's evaluation reports is a closed-loop
+// per-op average; the applications the paper pitches (Tor relays, TLS
+// middleboxes, SDN controllers) live or die on tail latency under
+// open-loop arrivals, where requests keep arriving whether or not the
+// server has finished the previous one. The engine drives the existing
+// rigs on the modeled cycle clock (never wall clock), so p50/p99/p999
+// are as reproducible as the tables: byte-identical at any worker
+// count, golden-tested, and composable with the EPC pager and the
+// switchless xcall rings.
+package load
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// ExactThreshold is the sample count up to which a Hist stores every
+// sample verbatim and quantiles are exact (nearest-rank over the sorted
+// samples). Past it the histogram spills into fixed log-spaced buckets
+// with bounded relative error.
+const ExactThreshold = 512
+
+// histPrecBits fixes the bucket resolution: values below 2^histPrecBits
+// get one bucket each (exact), larger values share 2^(histPrecBits-1)
+// sub-buckets per power of two. The worst-case relative error of a
+// bucket's representative value is 1/2^histPrecBits (≈1.6%).
+const histPrecBits = 6
+
+// numBuckets covers the whole uint64 range under the scheme above.
+const numBuckets = (1 << histPrecBits) + (64-histPrecBits)*(1<<(histPrecBits-1))
+
+// bucketOf maps a value to its bucket index. Pure integer math — no
+// floating point, so the mapping is identical on every platform and the
+// goldens that pin bucketed percentiles cannot drift. The mapping is
+// monotone: v1 <= v2 ⇒ bucketOf(v1) <= bucketOf(v2).
+func bucketOf(v uint64) int {
+	if v < 1<<histPrecBits {
+		return int(v)
+	}
+	shift := bits.Len64(v) - histPrecBits // >= 1
+	top := int(v >> uint(shift))          // in [2^(P-1), 2^P)
+	return 1<<histPrecBits + (shift-1)<<(histPrecBits-1) + top - 1<<(histPrecBits-1)
+}
+
+// bucketRep returns the canonical representative value of a bucket: the
+// midpoint of its range. |rep − v| / v <= 1/2^histPrecBits for every v
+// in the bucket.
+func bucketRep(idx int) uint64 {
+	if idx < 1<<histPrecBits {
+		return uint64(idx)
+	}
+	shift := uint((idx-1<<histPrecBits)>>(histPrecBits-1)) + 1
+	top := uint64((idx-1<<histPrecBits)&(1<<(histPrecBits-1)-1)) + 1<<(histPrecBits-1)
+	return top<<shift + 1<<shift/2
+}
+
+// A Hist is the latency-distribution accumulator. Below ExactThreshold
+// samples it is exact; above, it degrades to fixed buckets with bounded
+// relative error. Merging is deterministic and order-invariant: any
+// merge order of the same sample multiset yields identical quantiles,
+// which is what lets per-stream and per-shard histograms fold together
+// under the parallel Runner without the worker count showing through.
+// Not safe for concurrent use; the engine records serially.
+type Hist struct {
+	count   uint64
+	max     uint64
+	sum     uint64 // saturating; callers needing exact means use tallies
+	samples []uint64
+	buckets []uint64 // nil until spilled
+}
+
+// NewHist returns an empty histogram. The zero value is NOT ready to
+// use; always construct through NewHist.
+func NewHist() *Hist {
+	return &Hist{samples: make([]uint64, 0, 16)}
+}
+
+func satAdd(a, b uint64) uint64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return ^uint64(0)
+}
+
+// Add records one sample.
+func (h *Hist) Add(v uint64) {
+	h.count++
+	h.sum = satAdd(h.sum, v)
+	if v > h.max {
+		h.max = v
+	}
+	if h.buckets != nil {
+		h.buckets[bucketOf(v)]++
+		return
+	}
+	h.samples = append(h.samples, v)
+	if len(h.samples) > ExactThreshold {
+		h.spill()
+	}
+}
+
+// spill converts the exact samples to buckets and drops them.
+func (h *Hist) spill() {
+	h.buckets = make([]uint64, numBuckets)
+	for _, v := range h.samples {
+		h.buckets[bucketOf(v)]++
+	}
+	h.samples = nil
+}
+
+// Merge folds o into h without mutating o. The result depends only on
+// the combined sample multiset: if it fits ExactThreshold the merge
+// stays exact, otherwise both sides land in the same fixed buckets —
+// either way, every merge order produces identical quantiles.
+func (h *Hist) Merge(o *Hist) {
+	h.count += o.count
+	h.sum = satAdd(h.sum, o.sum)
+	if o.max > h.max {
+		h.max = o.max
+	}
+	if h.buckets == nil && o.buckets == nil && len(h.samples)+len(o.samples) <= ExactThreshold {
+		h.samples = append(h.samples, o.samples...)
+		return
+	}
+	if h.buckets == nil {
+		h.spill()
+	}
+	if o.buckets != nil {
+		for i, c := range o.buckets {
+			h.buckets[i] += c
+		}
+		return
+	}
+	for _, v := range o.samples {
+		h.buckets[bucketOf(v)]++
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Max returns the largest recorded sample (exact in both regimes).
+func (h *Hist) Max() uint64 { return h.max }
+
+// Sum returns the saturating sum of all samples.
+func (h *Hist) Sum() uint64 { return h.sum }
+
+// Bucketed reports whether the histogram has spilled past the exact
+// regime.
+func (h *Hist) Bucketed() bool { return h.buckets != nil }
+
+// Quantile returns the nearest-rank q-quantile (q in [0,1]; out-of-range
+// values clamp to min/max). Exact below ExactThreshold; within a
+// 1/2^histPrecBits relative error above it (and the max is always
+// exact via Max). Returns 0 on an empty histogram.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(1)
+	if q > 0 {
+		// ceil(q*count) without float edge surprises at q=1.
+		r := q * float64(h.count)
+		rank = uint64(r)
+		if float64(rank) < r {
+			rank++
+		}
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > h.count {
+			rank = h.count
+		}
+	}
+	if h.buckets == nil {
+		sorted := make([]uint64, len(h.samples))
+		copy(sorted, h.samples)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return sorted[rank-1]
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			// A top bucket's midpoint can overshoot the true maximum;
+			// clamping keeps Quantile(1) == Max and never hurts accuracy.
+			if rep := bucketRep(i); rep < h.max {
+				return rep
+			}
+			return h.max
+		}
+	}
+	return h.max // unreachable: bucket counts sum to count
+}

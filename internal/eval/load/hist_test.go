@@ -1,0 +1,242 @@
+package load
+
+import (
+	"sort"
+	"testing"
+)
+
+// oracle is the naive reference: nearest-rank over a full sort.
+func oracle(samples []uint64, q float64) uint64 {
+	sorted := append([]uint64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := 1
+	if q > 0 {
+		r := q * float64(len(sorted))
+		rank = int(r)
+		if float64(rank) < r {
+			rank++
+		}
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+	}
+	return sorted[rank-1]
+}
+
+// genSamples draws n seeded values spanning several orders of magnitude
+// (latencies from tens to billions of cycles), plus edge values.
+func genSamples(seed uint64, n int) []uint64 {
+	rng := splitmix{s: seed}
+	out := make([]uint64, n)
+	for i := range out {
+		v := rng.next()
+		// Vary magnitude: shift by 0..53 bits so small and huge values mix.
+		out[i] = v >> (rng.next() % 54)
+	}
+	if n > 0 {
+		out[0] = 0
+	}
+	if n > 1 {
+		out[1] = 1
+	}
+	return out
+}
+
+var quantiles = []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+
+// TestHistExactOracle: below ExactThreshold the histogram must agree
+// with the sort-based oracle exactly, for every quantile.
+func TestHistExactOracle(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, ExactThreshold} {
+		samples := genSamples(uint64(n), n)
+		h := NewHist()
+		for _, v := range samples {
+			h.Add(v)
+		}
+		if h.Bucketed() {
+			t.Fatalf("n=%d: unexpectedly bucketed", n)
+		}
+		for _, q := range quantiles {
+			if got, want := h.Quantile(q), oracle(samples, q); got != want {
+				t.Errorf("n=%d q=%v: got %d want %d", n, q, got, want)
+			}
+		}
+	}
+}
+
+// TestHistBucketedBoundedError: above the threshold every quantile must
+// stay within the documented relative error of the oracle (and max must
+// stay exact).
+func TestHistBucketedBoundedError(t *testing.T) {
+	for _, n := range []int{ExactThreshold + 1, 2000, 10000} {
+		samples := genSamples(uint64(n), n)
+		h := NewHist()
+		var max uint64
+		for _, v := range samples {
+			h.Add(v)
+			if v > max {
+				max = v
+			}
+		}
+		if !h.Bucketed() {
+			t.Fatalf("n=%d: not bucketed", n)
+		}
+		if h.Max() != max {
+			t.Fatalf("n=%d: max %d want %d", n, h.Max(), max)
+		}
+		for _, q := range quantiles {
+			got, want := h.Quantile(q), oracle(samples, q)
+			// rep error is <= want/64; allow want/32 for slack at bucket edges.
+			tol := want / 32
+			if tol < 1 {
+				tol = 1
+			}
+			diff := got - want
+			if got < want {
+				diff = want - got
+			}
+			if diff > tol {
+				t.Errorf("n=%d q=%v: got %d want %d (tol %d)", n, q, got, want, tol)
+			}
+		}
+	}
+}
+
+// TestHistMergeOrderInvariance: any partition of a sample multiset,
+// merged in any order, must reduce to identical quantiles — in both the
+// exact and the bucketed regime.
+func TestHistMergeOrderInvariance(t *testing.T) {
+	for _, total := range []int{60, ExactThreshold, ExactThreshold + 100, 3000} {
+		samples := genSamples(uint64(total)*7, total)
+		// Partition into k parts three different ways, merge forward,
+		// backward, and pairwise-tree; all must agree with the flat fill.
+		flat := NewHist()
+		for _, v := range samples {
+			flat.Add(v)
+		}
+		for _, k := range []int{2, 3, 7} {
+			parts := make([]*Hist, k)
+			for i := range parts {
+				parts[i] = NewHist()
+			}
+			for i, v := range samples {
+				parts[i%k].Add(v)
+			}
+			fwd := NewHist()
+			for _, p := range parts {
+				fwd.Merge(p)
+			}
+			bwd := NewHist()
+			for i := k - 1; i >= 0; i-- {
+				bwd.Merge(parts[i])
+			}
+			for _, q := range quantiles {
+				want := flat.Quantile(q)
+				if got := fwd.Quantile(q); got != want {
+					t.Errorf("total=%d k=%d q=%v fwd: got %d want %d", total, k, q, got, want)
+				}
+				if got := bwd.Quantile(q); got != want {
+					t.Errorf("total=%d k=%d q=%v bwd: got %d want %d", total, k, q, got, want)
+				}
+			}
+			if fwd.Count() != flat.Count() || fwd.Sum() != flat.Sum() || fwd.Max() != flat.Max() {
+				t.Errorf("total=%d k=%d: count/sum/max diverge", total, k)
+			}
+		}
+	}
+}
+
+// TestHistMergeDoesNotMutateSource: merging must leave the source
+// usable and unchanged.
+func TestHistMergeDoesNotMutateSource(t *testing.T) {
+	a, b := NewHist(), NewHist()
+	for i := uint64(0); i < 400; i++ {
+		a.Add(i)
+		b.Add(i * 1000)
+	}
+	before := make([]uint64, len(quantiles))
+	for i, q := range quantiles {
+		before[i] = b.Quantile(q)
+	}
+	a.Merge(b) // combined count 800 > threshold: a spills, b must not
+	if b.Bucketed() {
+		t.Fatal("merge bucketized the source")
+	}
+	for i, q := range quantiles {
+		if got := b.Quantile(q); got != before[i] {
+			t.Errorf("q=%v: source quantile changed %d -> %d", q, before[i], got)
+		}
+	}
+}
+
+// TestHistMonotoneQuantiles: q1 <= q2 implies Quantile(q1) <= Quantile(q2),
+// in both regimes.
+func TestHistMonotoneQuantiles(t *testing.T) {
+	for _, n := range []int{50, 5000} {
+		h := NewHist()
+		for _, v := range genSamples(uint64(n)*13, n) {
+			h.Add(v)
+		}
+		prev := uint64(0)
+		for q := 0.0; q <= 1.0; q += 0.001 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("n=%d: quantile regressed at q=%v: %d < %d", n, q, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestBucketMapping: the bucket index must be monotone in v and the
+// representative within 1/64 relative error, across the whole range.
+func TestBucketMapping(t *testing.T) {
+	rng := splitmix{s: 99}
+	prev := -1
+	for v := uint64(0); v < 4096; v++ {
+		idx := bucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucketOf not monotone at %d", v)
+		}
+		prev = idx
+	}
+	for i := 0; i < 100000; i++ {
+		v := rng.next() >> (rng.next() % 64)
+		idx := bucketOf(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, idx)
+		}
+		rep := bucketRep(idx)
+		if bucketOf(rep) != idx {
+			t.Fatalf("rep %d of bucket %d maps to bucket %d", rep, idx, bucketOf(rep))
+		}
+		if v >= 64 {
+			diff := int64(rep) - int64(v)
+			if diff < 0 {
+				diff = -diff
+			}
+			if uint64(diff) > v/64 {
+				t.Fatalf("rep error too large: v=%d rep=%d", v, rep)
+			}
+		} else if rep != v {
+			t.Fatalf("small value not exact: v=%d rep=%d", v, rep)
+		}
+	}
+}
+
+// TestHistEmptyAndSaturation: empty histograms return 0; the saturating
+// sum pegs at max instead of wrapping.
+func TestHistEmptyAndSaturation(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Add(^uint64(0))
+	h.Add(^uint64(0))
+	if h.Sum() != ^uint64(0) {
+		t.Fatalf("sum did not saturate: %d", h.Sum())
+	}
+}

@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestLoadSweepPoint sanity-checks one cheap cell end to end: a stable
+// queue, positive percentiles in order, and the exact-regime reduction.
+func TestLoadSweepPoint(t *testing.T) {
+	pt, err := loadSweepPoint(nil, loadCell{"tls", "poisson", 0.5, "-"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.MeanSvc == 0 || pt.Rate <= 0 {
+		t.Fatalf("calibration produced meanSvc=%d rate=%v", pt.MeanSvc, pt.Rate)
+	}
+	if !(pt.P50 <= pt.P99 && pt.P99 <= pt.P999 && pt.P999 <= pt.Max) {
+		t.Fatalf("percentiles out of order: %+v", pt)
+	}
+	if pt.P50 < pt.MeanSvc/2 {
+		t.Fatalf("p50 %d implausibly below service %d", pt.P50, pt.MeanSvc)
+	}
+	if pt.Bucketed {
+		t.Fatal("64 requests should reduce exactly")
+	}
+	if pt.Util <= 0 || pt.Util > 1.01 {
+		t.Fatalf("utilization %v out of range", pt.Util)
+	}
+}
+
+// TestLoadSweepPagerComposes: the epc=1.5 axis must be slower per
+// request than epc=0.5 — oversubscription puts paging on the request
+// path, which is the whole point of the composition.
+func TestLoadSweepPagerComposes(t *testing.T) {
+	under, err := loadSweepPoint(nil, loadCell{"tls", "poisson", 0.5, "epc=0.5"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := loadSweepPoint(nil, loadCell{"tls", "poisson", 0.5, "epc=1.5"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.MeanSvc <= under.MeanSvc {
+		t.Fatalf("oversubscribed EPC not slower: %d <= %d", over.MeanSvc, under.MeanSvc)
+	}
+}
+
+// TestLoadSweepAntagonistRace runs every antagonist cell on a parallel
+// pool twice and demands identical reductions — the race-enabled gate
+// for the interference points (go test -race makes this a data-race
+// detector for the two-stream engine under the worker pool).
+func TestLoadSweepAntagonistRace(t *testing.T) {
+	cells := []loadCell{
+		{"tor", "poisson", 0.5, "+cpu"},
+		{"tor", "poisson", 0.5, "+cross"},
+		{"tls", "poisson", 0.5, "+epc"},
+	}
+	run := func(workers int) []LoadSweepPoint {
+		t.Helper()
+		r := NewRunner(workers)
+		pts, err := mapOrdered(r, len(cells), func(i int) (LoadSweepPoint, error) {
+			return loadSweepPoint(r.trace, cells[i], 48)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	w1, w8 := run(1), run(8)
+	if !reflect.DeepEqual(w1, w8) {
+		t.Fatalf("antagonist cells diverge across worker counts:\n1: %+v\n8: %+v", w1, w8)
+	}
+	for _, p := range w8 {
+		if p.Util <= 0 {
+			t.Fatalf("antagonist cell %s/%s produced zero utilization", p.App, p.Compose)
+		}
+	}
+}

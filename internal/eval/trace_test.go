@@ -17,10 +17,12 @@ var updateTrace = flag.Bool("update-trace", false, "rewrite the golden trace fil
 // traceRun records the reference workload — the Table 4 row at the
 // canonical 30 ASes, one Figure 3 point, one oversubscribed EPC sweep
 // point (so the pager's spans and pager.* counters are pinned too),
-// and one switchless xcall sweep point (so the xcall.* probe kinds and
-// ring counters are pinned) — into a fresh trace and returns its JSONL
-// export. The registry is installed as the default probe so the
-// metrics track exercises the instruction-kind counters.
+// one switchless xcall sweep point (so the xcall.* probe kinds and
+// ring counters are pinned), and one small open-loop load sweep point
+// (so the per-request RecordSpanAt spans, the load.calibrate record,
+// and the load.sweep.* counters are pinned) — into a fresh trace and
+// returns its JSONL export. The registry is installed as the default
+// probe so the metrics track exercises the instruction-kind counters.
 func traceRun(t *testing.T, workers int) []byte {
 	t.Helper()
 	reg := obs.NewRegistry()
@@ -39,6 +41,9 @@ func traceRun(t *testing.T, workers int) []byte {
 		t.Fatal(err)
 	}
 	if _, err := xcallSweepPoint(tr, "tls", &xcall.Config{Batch: 16, SpinBudget: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSweepPoint(tr, loadCell{"tls", "poisson", 0.8, "xcall=16"}, 48); err != nil {
 		t.Fatal(err)
 	}
 	var b bytes.Buffer

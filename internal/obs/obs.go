@@ -219,6 +219,35 @@ func (t *Trace) RecordSpan(trackName, name string, delta core.Tally) {
 		Depth: depth, SGXU: delta.SGXU, Normal: delta.Normal, Cycles: delta.Cycles()})
 }
 
+// RecordSpanAt emits a complete span whose begin is pinned to an
+// explicit virtual timestamp — the open-loop load engine's shape, where
+// a request starts at max(arrival, server-idle) rather than wherever
+// the track clock happens to sit. The clock first advances to start
+// (clamped monotone: a start in the past degrades to RecordSpan
+// semantics), then by the delta, so queue idle gaps show up as gaps on
+// the track instead of being silently compacted.
+func (t *Trace) RecordSpanAt(trackName, name string, start uint64, delta core.Tally) {
+	if t == nil {
+		return
+	}
+	tk := t.track(trackName)
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	if start > tk.clock {
+		tk.clock = start
+	}
+	depth := len(tk.stack)
+	tk.emit(Event{TS: tk.clock, Ph: PhaseBegin, Name: name, Depth: depth})
+	tk.clock += delta.Cycles()
+	if len(tk.stack) > 0 {
+		if p := tk.stack[len(tk.stack)-1]; len(p.meters) == 0 {
+			p.agg = p.agg.Add(delta)
+		}
+	}
+	tk.emit(Event{TS: tk.clock, Ph: PhaseEnd, Name: name,
+		Depth: depth, SGXU: delta.SGXU, Normal: delta.Normal, Cycles: delta.Cycles()})
+}
+
 // Event records an instant event (a fault injection, a retry attempt, a
 // protocol message) at the track's current clock. Attrs may be nil.
 func (t *Trace) Event(trackName, name string, attrs map[string]string) {

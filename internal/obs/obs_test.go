@@ -109,6 +109,44 @@ func TestRecordSpanAndTotalAttribution(t *testing.T) {
 	}
 }
 
+func TestRecordSpanAtPinsStart(t *testing.T) {
+	tr := New(nil)
+	// Start in the future: the clock must jump to 500 and the gap must
+	// survive in the export (open-loop idle time is real).
+	tr.RecordSpanAt("t", "req.a", 500, core.Tally{Normal: 100}) // 180 cycles
+	evs := tr.Events()
+	if evs[0].TS != 500 || evs[1].TS != 680 {
+		t.Errorf("future start: ts = %d..%d, want 500..680", evs[0].TS, evs[1].TS)
+	}
+	// Start in the past: clamped monotone — degrades to RecordSpan at
+	// the current clock, never rewinds.
+	tr.RecordSpanAt("t", "req.b", 100, core.Tally{Normal: 100})
+	evs = tr.Events()
+	if evs[2].TS != 680 || evs[3].TS != 860 {
+		t.Errorf("past start: ts = %d..%d, want 680..860", evs[2].TS, evs[3].TS)
+	}
+	// Total attribution composes with pinned spans like recorded ones.
+	tr.Total("t", "run.total", core.Tally{Normal: 200})
+	a := Analyze(tr.Events())
+	if tk := a.Tracks[0]; !tk.HasTotal || tk.Residual() != (core.Tally{}) {
+		t.Errorf("want zero residual, got %+v", tk.Residual())
+	}
+}
+
+func TestRecordSpanAtFoldsIntoAggregate(t *testing.T) {
+	tr := New(nil)
+	agg := tr.Begin("t", "run") // aggregate: no meters
+	tr.RecordSpanAt("t", "req", 50, core.Tally{SGXU: 2, Normal: 10})
+	agg.End()
+	evs := tr.Events()
+	end := evs[len(evs)-1]
+	if end.Name != "run" || end.SGXU != 2 || end.Normal != 10 {
+		t.Errorf("aggregate did not absorb pinned span: %+v", end)
+	}
+	var nilTr *Trace
+	nilTr.RecordSpanAt("t", "x", 1, core.Tally{}) // must not panic
+}
+
 func TestEventBumpsRegistry(t *testing.T) {
 	reg := NewRegistry()
 	tr := New(reg)

@@ -147,6 +147,12 @@ func NewClient(host *netsim.SimHost, cfg ClientConfig) (*Client, error) {
 	return c, nil
 }
 
+// Meter returns the meter the client's work is charged on: the
+// challenger enclave's meter for SGX clients, the host meter otherwise.
+// The open-loop load rigs drain it per request to price the client side
+// of a circuit exchange.
+func (c *Client) Meter() *core.Meter { return c.meter }
+
 // FetchConsensus retrieves the consensus from every authority and keeps
 // the descriptors a majority agrees on. An SGX client remote-attests
 // each authority before trusting its answer.
