@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"sgxnet/internal/eval"
+	"sgxnet/internal/eval/scale"
 	"sgxnet/internal/topo"
 	"sgxnet/internal/tor"
 
@@ -258,6 +259,50 @@ func BenchmarkLoadSweep(b *testing.B) {
 				}
 			}
 			b.ReportMetric(worst, "worst-p999/p50-x")
+		})
+	}
+}
+
+// BenchmarkScaleSweep measures the discrete-event kernel. The sdn-1024
+// sub-bench drives the 1024-AS Figure 3 cell alone — its ns/op is the
+// cost of simulating 4096 route updates through a serialized
+// controller, and events/sec is the kernel's raw throughput at that
+// cell. The workers=N sub-benches run the full canonical grid (up to
+// 4096 ASes and a million-flow Tor cell) through the evaluation
+// engine; both land in BENCH_results.json so kernel regressions are
+// diffable.
+func BenchmarkScaleSweep(b *testing.B) {
+	b.Run("sdn-1024", func(b *testing.B) {
+		s, err := scale.ParseSpec("sdn:ases=1024,updates=4,rate=100,seed=42")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			res, err := scale.Run(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += res.Events
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	})
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := eval.NewRunner(workers)
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				pts, err := r.ScaleSweep()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range pts {
+					events += p.Events
+				}
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 		})
 	}
 }

@@ -27,6 +27,7 @@ var goldenCases = []struct {
 	{"epc-sweep", options{epcSweep: true}},
 	{"xcall-sweep", options{xcallSweep: true}},
 	{"load-sweep", options{loadSweep: true}},
+	{"scale-sweep", options{scaleSweep: true}},
 }
 
 func golden(name string) string { return filepath.Join("testdata", name+".golden") }
@@ -72,7 +73,7 @@ func TestGolden(t *testing.T) {
 			golden("all"), b.Bytes(), all)
 	}
 	var concat []byte
-	for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "ablations", "epc-sweep", "xcall-sweep", "load-sweep"} {
+	for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "ablations", "epc-sweep", "xcall-sweep", "load-sweep", "scale-sweep"} {
 		sec, err := os.ReadFile(golden(name))
 		if err != nil {
 			t.Fatalf("missing golden (rerun with -update): %v", err)
@@ -173,6 +174,29 @@ func TestLoadSweepWorkersEquivalence(t *testing.T) {
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
 		t.Errorf("-load-sweep at -workers 8 diverges from -workers 1\nserial:\n%s\nparallel:\n%s",
+			serial.Bytes(), parallel.Bytes())
+	}
+}
+
+// TestScaleSweepWorkersEquivalence is the acceptance gate for the
+// discrete-event scale sweep: each cell is one single-threaded kernel
+// run, so the transcript — event counts, peak backlog, makespans, and
+// per-op overheads for thousands of hosts — must be byte-identical at
+// -workers 1 and -workers 8. CI runs this under -race as the kernel's
+// end-to-end determinism check.
+func TestScaleSweepWorkersEquivalence(t *testing.T) {
+	if *update {
+		t.Skip("goldens being rewritten")
+	}
+	var serial, parallel bytes.Buffer
+	if err := emit(&serial, options{scaleSweep: true, workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := emit(&parallel, options{scaleSweep: true, workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("-scale-sweep at -workers 8 diverges from -workers 1\nserial:\n%s\nparallel:\n%s",
 			serial.Bytes(), parallel.Bytes())
 	}
 }

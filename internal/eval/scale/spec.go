@@ -1,0 +1,315 @@
+// Package scale holds the discrete-event scale sweep: thousands of
+// ASes and relays, up to millions of flows, simulated as lightweight
+// state machines on the des kernel instead of goroutine-per-host rigs.
+//
+// A sweep cell is described by a compact seeded spec string (the same
+// convention as internal/eval/load's arrival specs): the string alone
+// reproduces the topology, the flow schedule, and every cost charged,
+// so it can appear verbatim in rendered tables and trace track names.
+// Two grammars exist, one per modeled application:
+//
+//	sdn:ases=64,updates=4,rate=100,seed=42[,edges=0-1|1-2]
+//	tor:relays=1000,flows=100000,hops=3,rate=400,seed=7,arrival=poisson
+//
+// The parser is strict (exact key set per kind, each key once) and is
+// fuzzed: every rejection is an error, never a panic, and every
+// accepted spec round-trips through its canonical String form.
+package scale
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sgxnet/internal/eval/load"
+)
+
+// Kind selects the modeled application.
+type Kind uint8
+
+const (
+	// SDN models the paper's §3.1 controllers at scale: every update is
+	// routed through one serialized inter-domain controller, installed
+	// at its AS-local controller, and optionally gossiped to peers.
+	SDN Kind = iota
+	// Tor models §3.2 at scale: each flow traverses a fixed-length
+	// circuit of relays, every hop paying the in-enclave cell cost.
+	Tor
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SDN:
+		return "sdn"
+	case Tor:
+		return "tor"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Spec bounds. Host counts are capped well above the sweep grid but
+// low enough that adjacency slices and per-host clocks stay cheap;
+// the flow/op count inherits load.MaxRequests so a schedule is always
+// materializable.
+const (
+	// MaxHosts bounds ASes (SDN) and relays (Tor).
+	MaxHosts = 1 << 20
+	// MaxUpdates bounds per-AS update rounds.
+	MaxUpdates = 1 << 12
+	// MaxHops bounds Tor circuit length.
+	MaxHops = 8
+	// MaxEdges bounds the explicit SDN peering list.
+	MaxEdges = 1 << 16
+)
+
+// Edge is one undirected AS-AS peering link, normalized A < B.
+type Edge struct{ A, B int }
+
+// Spec is one scale-sweep cell. The zero value is not valid; build one
+// directly or with ParseSpec.
+type Spec struct {
+	Kind  Kind
+	Hosts int     // SDN: AS count ("ases"); Tor: relay count ("relays")
+	Rate  float64 // mean arrivals per Mcycle, load.ArrivalSpec bounds
+	Seed  uint64  // seeds topology latencies, paths, and arrival draws
+
+	// SDN-only.
+	Updates int    // update rounds per AS; total ops = Hosts*Updates
+	Edges   []Edge // optional peering links gossiped after installs
+
+	// Tor-only.
+	Flows   int       // circuits driven through the network
+	Hops    int       // relays per circuit
+	Arrival load.Kind // arrival process for the flow schedule
+}
+
+// Ops is the number of completable operations the cell drives: SDN
+// route updates or Tor flows.
+func (s Spec) Ops() int {
+	if s.Kind == SDN {
+		return s.Hosts * s.Updates
+	}
+	return s.Flows
+}
+
+// String renders the canonical spec form; ParseSpec(s.String()) is
+// deep-equal to s for every valid spec (held by the fuzz target).
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Kind.String())
+	switch s.Kind {
+	case SDN:
+		fmt.Fprintf(&b, ":ases=%d,updates=%d,rate=%s,seed=%d",
+			s.Hosts, s.Updates, strconv.FormatFloat(s.Rate, 'g', -1, 64), s.Seed)
+		if len(s.Edges) > 0 {
+			b.WriteString(",edges=")
+			for i, e := range s.Edges {
+				if i > 0 {
+					b.WriteByte('|')
+				}
+				fmt.Fprintf(&b, "%d-%d", e.A, e.B)
+			}
+		}
+	case Tor:
+		fmt.Fprintf(&b, ":relays=%d,flows=%d,hops=%d,rate=%s,seed=%d,arrival=%s",
+			s.Hosts, s.Flows, s.Hops, strconv.FormatFloat(s.Rate, 'g', -1, 64), s.Seed, s.Arrival)
+	}
+	return b.String()
+}
+
+// arrivalSpec derives the cell's flow schedule spec. SDN cells pace
+// deterministically (the updates themselves are the randomness that
+// matters); Tor cells use the spec's arrival process. Bursty shape
+// parameters are derived from the rate so the spec string stays small:
+// a 64-mean-interarrival period at 25% duty.
+func (s Spec) arrivalSpec() load.ArrivalSpec {
+	as := load.ArrivalSpec{Rate: s.Rate, N: s.Ops(), Seed: s.Seed}
+	if s.Kind == SDN {
+		as.Kind = load.Fixed
+		return as
+	}
+	as.Kind = s.Arrival
+	if s.Arrival == load.Bursty {
+		period := uint64(64 * 1e6 / s.Rate)
+		if period < 1 {
+			period = 1
+		}
+		if period > load.MaxPeriod {
+			period = load.MaxPeriod
+		}
+		as.Period = period
+		as.Duty = 0.25
+	}
+	return as
+}
+
+// Validate checks the spec against the documented bounds. Every
+// rejection is an error, never a panic — the parser feeds on fuzzed
+// input, and a zero-host topology or an edge list referencing absent
+// ASes must die here, not index out of range mid-simulation.
+func (s Spec) Validate() error {
+	if s.Kind > Tor {
+		return fmt.Errorf("scale: unknown kind %d", s.Kind)
+	}
+	if s.Hosts < 1 || s.Hosts > MaxHosts {
+		return fmt.Errorf("scale: host count %d outside [1, %d]", s.Hosts, MaxHosts)
+	}
+	switch s.Kind {
+	case SDN:
+		if s.Updates < 1 || s.Updates > MaxUpdates {
+			return fmt.Errorf("scale: updates %d outside [1, %d]", s.Updates, MaxUpdates)
+		}
+		if s.Hosts > load.MaxRequests/s.Updates {
+			return fmt.Errorf("scale: %d ASes x %d updates exceeds %d ops", s.Hosts, s.Updates, load.MaxRequests)
+		}
+		if len(s.Edges) > MaxEdges {
+			return fmt.Errorf("scale: %d edges exceeds %d", len(s.Edges), MaxEdges)
+		}
+		seen := make(map[Edge]bool, len(s.Edges))
+		for _, e := range s.Edges {
+			if e.A >= e.B {
+				return fmt.Errorf("scale: edge %d-%d not normalized (want a < b; self-loops forbidden)", e.A, e.B)
+			}
+			if e.A < 0 || e.B >= s.Hosts {
+				return fmt.Errorf("scale: edge %d-%d outside the %d-AS topology", e.A, e.B, s.Hosts)
+			}
+			if seen[e] {
+				return fmt.Errorf("scale: duplicate edge %d-%d", e.A, e.B)
+			}
+			seen[e] = true
+		}
+		if s.Flows != 0 || s.Hops != 0 || s.Arrival != 0 {
+			return fmt.Errorf("scale: tor-only fields set on an sdn spec")
+		}
+	case Tor:
+		if s.Hops < 1 || s.Hops > MaxHops {
+			return fmt.Errorf("scale: hops %d outside [1, %d]", s.Hops, MaxHops)
+		}
+		if s.Hosts < s.Hops {
+			return fmt.Errorf("scale: %d relays cannot form a %d-hop circuit of distinct relays", s.Hosts, s.Hops)
+		}
+		if s.Flows < 1 || s.Flows > load.MaxRequests {
+			return fmt.Errorf("scale: flows %d outside [1, %d]", s.Flows, load.MaxRequests)
+		}
+		if s.Arrival > load.Fixed {
+			return fmt.Errorf("scale: unknown arrival kind %d", s.Arrival)
+		}
+		if s.Updates != 0 || len(s.Edges) != 0 {
+			return fmt.Errorf("scale: sdn-only fields set on a tor spec")
+		}
+	}
+	// The derived arrival spec enforces the rate bounds and keeps the
+	// schedule's timestamps under load.MaxScheduleCycles.
+	if err := s.arrivalSpec().Validate(); err != nil {
+		return fmt.Errorf("scale: %v", err)
+	}
+	return nil
+}
+
+// ParseSpec parses the canonical "kind:k=v,..." form. Keys are strict:
+// each kind accepts exactly its canonical key set, once each.
+func ParseSpec(in string) (Spec, error) {
+	var s Spec
+	head, rest, ok := strings.Cut(in, ":")
+	if !ok {
+		return s, fmt.Errorf("scale: spec %q: missing ':'", in)
+	}
+	var required []string
+	allowed := make(map[string]bool)
+	switch head {
+	case "sdn":
+		s.Kind = SDN
+		required = []string{"ases", "updates", "rate", "seed"}
+		allowed["edges"] = true
+	case "tor":
+		s.Kind = Tor
+		required = []string{"relays", "flows", "hops", "rate", "seed", "arrival"}
+	default:
+		return s, fmt.Errorf("scale: unknown kind %q", head)
+	}
+	for _, k := range required {
+		allowed[k] = true
+	}
+	seen := make(map[string]bool)
+	for _, field := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return s, fmt.Errorf("scale: spec field %q: missing '='", field)
+		}
+		if !allowed[k] {
+			return s, fmt.Errorf("scale: key %q not allowed for kind %s", k, s.Kind)
+		}
+		if seen[k] {
+			return s, fmt.Errorf("scale: duplicate key %q", k)
+		}
+		seen[k] = true
+		var err error
+		switch k {
+		case "ases", "relays":
+			s.Hosts, err = strconv.Atoi(v)
+		case "updates":
+			s.Updates, err = strconv.Atoi(v)
+		case "flows":
+			s.Flows, err = strconv.Atoi(v)
+		case "hops":
+			s.Hops, err = strconv.Atoi(v)
+		case "rate":
+			s.Rate, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			s.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "arrival":
+			switch v {
+			case "poisson":
+				s.Arrival = load.Poisson
+			case "bursty":
+				s.Arrival = load.Bursty
+			case "fixed":
+				s.Arrival = load.Fixed
+			default:
+				err = fmt.Errorf("unknown arrival kind %q", v)
+			}
+		case "edges":
+			s.Edges, err = parseEdges(v)
+		}
+		if err != nil {
+			return s, fmt.Errorf("scale: spec field %q: %v", field, err)
+		}
+	}
+	for _, k := range required {
+		if !seen[k] {
+			return s, fmt.Errorf("scale: spec %q: missing key %q", in, k)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// parseEdges parses "a-b|c-d|...", normalizing each pair to A < B.
+// Duplicate and out-of-range detection happens in Validate, where the
+// host count is known.
+func parseEdges(v string) ([]Edge, error) {
+	parts := strings.Split(v, "|")
+	edges := make([]Edge, 0, len(parts))
+	for _, p := range parts {
+		as, bs, ok := strings.Cut(p, "-")
+		if !ok {
+			return nil, fmt.Errorf("edge %q: missing '-'", p)
+		}
+		a, err := strconv.Atoi(as)
+		if err != nil {
+			return nil, fmt.Errorf("edge %q: %v", p, err)
+		}
+		b, err := strconv.Atoi(bs)
+		if err != nil {
+			return nil, fmt.Errorf("edge %q: %v", p, err)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		edges = append(edges, Edge{A: a, B: b})
+	}
+	return edges, nil
+}

@@ -1,0 +1,116 @@
+package scale
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sgxnet/internal/eval/load"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"sdn:ases=64,updates=4,rate=100,seed=42",
+		"sdn:ases=8,updates=2,rate=50,seed=7,edges=0-1|1-2|0-7",
+		"tor:relays=1000,flows=100000,hops=3,rate=400,seed=7,arrival=poisson",
+		"tor:relays=100,flows=64,hops=8,rate=12.5,seed=0,arrival=bursty",
+		"tor:relays=3,flows=1,hops=3,rate=1,seed=9,arrival=fixed",
+	}
+	for _, in := range cases {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		if got := s.String(); got != in {
+			t.Errorf("canonical form changed: %q -> %q", in, got)
+		}
+		rt, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s.String(), err)
+		}
+		if !reflect.DeepEqual(rt, s) {
+			t.Errorf("round trip diverged: %+v vs %+v", s, rt)
+		}
+	}
+}
+
+func TestParseNormalizesEdges(t *testing.T) {
+	s, err := ParseSpec("sdn:ases=4,updates=1,rate=1,seed=1,edges=3-1|2-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Edge{{1, 3}, {0, 2}}
+	if !reflect.DeepEqual(s.Edges, want) {
+		t.Fatalf("edges %v, want normalized %v", s.Edges, want)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct{ in, wantErr string }{
+		{"sdn:ases=0,updates=4,rate=100,seed=1", "outside [1"},
+		{"tor:relays=0,flows=10,hops=3,rate=1,seed=1,arrival=fixed", "outside [1"},
+		{"sdn:ases=99999999999999999999,updates=1,rate=1,seed=1", "out of range"},
+		{"sdn:ases=1048577,updates=1,rate=1,seed=1", "outside [1"},
+		{"sdn:ases=1048576,updates=4,rate=1,seed=1", "exceeds"},
+		{"sdn:ases=4,updates=1,rate=1,seed=1,edges=1-2|2-1", "duplicate edge"},
+		{"sdn:ases=4,updates=1,rate=1,seed=1,edges=2-2", "self-loops"},
+		{"sdn:ases=4,updates=1,rate=1,seed=1,edges=1-9", "outside the 4-AS"},
+		{"sdn:ases=4,updates=1,rate=1,seed=1,edges=1:2", "missing '-'"},
+		{"tor:relays=2,flows=10,hops=3,rate=1,seed=1,arrival=fixed", "distinct relays"},
+		{"tor:relays=9,flows=10,hops=9,rate=1,seed=1,arrival=fixed", "hops 9 outside"},
+		{"tor:relays=9,flows=0,hops=3,rate=1,seed=1,arrival=fixed", "flows 0 outside"},
+		{"tor:relays=9,flows=10,hops=3,rate=1,seed=1,arrival=weird", "unknown arrival"},
+		{"tor:relays=9,flows=10,hops=3,rate=0,seed=1,arrival=fixed", "rate 0 outside"},
+		{"tor:relays=9,flows=10,hops=3,rate=1,seed=1,arrival=fixed,edges=0-1", "not allowed"},
+		{"sdn:ases=4,updates=1,rate=1,seed=1,hops=3", "not allowed"},
+		{"sdn:ases=4,updates=1,rate=1", "missing key \"seed\""},
+		{"sdn:ases=4,ases=5,updates=1,rate=1,seed=1", "duplicate key"},
+		{"blimp:ases=4", "unknown kind"},
+		{"sdn", "missing ':'"},
+		{"sdn:ases", "missing '='"},
+	}
+	for _, c := range cases {
+		if _, err := ParseSpec(c.in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error containing %q", c.in, c.wantErr)
+		} else if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ParseSpec(%q) = %v, want error containing %q", c.in, err, c.wantErr)
+		}
+	}
+}
+
+// TestValidateRejectsCrossKindFields: specs built directly (not parsed)
+// with fields of the other kind set must not validate.
+func TestValidateRejectsCrossKindFields(t *testing.T) {
+	s := Spec{Kind: SDN, Hosts: 4, Updates: 1, Rate: 1, Hops: 3}
+	if err := s.Validate(); err == nil {
+		t.Error("SDN spec with Hops set validated")
+	}
+	s = Spec{Kind: Tor, Hosts: 4, Flows: 1, Hops: 3, Rate: 1, Arrival: load.Fixed, Updates: 2}
+	if err := s.Validate(); err == nil {
+		t.Error("Tor spec with Updates set validated")
+	}
+}
+
+// TestArrivalSpecDerivation: SDN cells pace deterministically; bursty
+// Tor cells derive period/duty from the rate.
+func TestArrivalSpecDerivation(t *testing.T) {
+	s, err := ParseSpec("sdn:ases=8,updates=2,rate=100,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := s.arrivalSpec()
+	if as.Kind != load.Fixed || as.N != 16 {
+		t.Fatalf("sdn arrival spec %+v, want fixed n=16", as)
+	}
+	s, err = ParseSpec("tor:relays=9,flows=10,hops=3,rate=100,seed=1,arrival=bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as = s.arrivalSpec()
+	if as.Kind != load.Bursty || as.Period != 640_000 || as.Duty != 0.25 {
+		t.Fatalf("bursty arrival spec %+v, want period=640000 duty=0.25", as)
+	}
+	if err := as.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

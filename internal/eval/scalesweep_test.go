@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"sgxnet/internal/eval/scale"
+)
+
+// TestScaleSweepSpecsValid: every canonical grid cell parses, validates,
+// and covers the scale the sweep promises — a >= 4096-AS Figure 3 axis
+// and a >= 1000-relay, >= 10^5-flow Tor axis.
+func TestScaleSweepSpecsValid(t *testing.T) {
+	var maxASes, maxRelays, maxFlows int
+	for _, spec := range scaleSweepSpecs() {
+		s, err := scale.ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("grid cell %q: %v", spec, err)
+		}
+		switch s.Kind {
+		case scale.SDN:
+			if s.Hosts > maxASes {
+				maxASes = s.Hosts
+			}
+		case scale.Tor:
+			if s.Hosts > maxRelays {
+				maxRelays = s.Hosts
+			}
+			if s.Flows > maxFlows {
+				maxFlows = s.Flows
+			}
+		}
+	}
+	if maxASes < 4096 {
+		t.Errorf("largest SDN cell has %d ASes, want >= 4096", maxASes)
+	}
+	if maxRelays < 1000 {
+		t.Errorf("largest Tor cell has %d relays, want >= 1000", maxRelays)
+	}
+	if maxFlows < 100_000 {
+		t.Errorf("largest Tor cell has %d flows, want >= 100000", maxFlows)
+	}
+}
+
+// TestScaleSweepPointDeterministic: the smallest grid cell reduces to
+// identical points (and identical trace spans ride on identical
+// tallies) across repeated runs — the cell-level arm of the sweep's
+// determinism gate; the transcript-level arm lives in cmd/sgxnet-tables.
+func TestScaleSweepPointDeterministic(t *testing.T) {
+	spec := scaleSweepSpecs()[0]
+	a, err := scaleSweepPoint(nil, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scaleSweepPoint(nil, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("smallest cell diverges across runs:\n%+v\n%+v", a, b)
+	}
+	if a.Ops == 0 || a.Events == 0 || a.Overhead <= 1 {
+		t.Fatalf("degenerate point: %+v", a)
+	}
+}

@@ -18,9 +18,11 @@ var updateTrace = flag.Bool("update-trace", false, "rewrite the golden trace fil
 // canonical 30 ASes, one Figure 3 point, one oversubscribed EPC sweep
 // point (so the pager's spans and pager.* counters are pinned too),
 // one switchless xcall sweep point (so the xcall.* probe kinds and
-// ring counters are pinned), and one small open-loop load sweep point
+// ring counters are pinned), one small open-loop load sweep point
 // (so the per-request RecordSpanAt spans, the load.calibrate record,
-// and the load.sweep.* counters are pinned) — into a fresh trace and
+// and the load.sweep.* counters are pinned), and one small
+// discrete-event scale sweep point (so the scale.native/scale.sgx
+// spans and scale.sweep.* counters are pinned) — into a fresh trace and
 // returns its JSONL export. The registry is installed as the default
 // probe so the metrics track exercises the instruction-kind counters.
 func traceRun(t *testing.T, workers int) []byte {
@@ -44,6 +46,9 @@ func traceRun(t *testing.T, workers int) []byte {
 		t.Fatal(err)
 	}
 	if _, err := loadSweepPoint(tr, loadCell{"tls", "poisson", 0.8, "xcall=16"}, 48); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scaleSweepPoint(tr, "sdn:ases=8,updates=2,rate=100,seed=42,edges=0-1|1-2"); err != nil {
 		t.Fatal(err)
 	}
 	var b bytes.Buffer

@@ -1,0 +1,165 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/netsim/des"
+)
+
+// DES-mode fault engine tests: with a kernel attached, latency, jitter,
+// and reorder holds are virtual-clock events. Hours of modeled delay
+// must cost microseconds of wall clock, per-link FIFO must survive the
+// virtual pipeline, and identical runs must produce identical stats —
+// the determinism the wall-clock path could never promise.
+
+// desPair builds a two-host network with a draining kernel attached and
+// a server echoing every payload back.
+func desPair(t *testing.T, s *FaultSchedule) (client *Conn, k *des.Kernel, stop func()) {
+	t.Helper()
+	n := New()
+	k = des.New()
+	n.SetKernel(k)
+	kstop := k.Background()
+	if s != nil {
+		n.SetFaults(s)
+	}
+	a, err := n.AddHost("a", core.PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddHost("b", core.PlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := b.Listen("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go l.Serve(func(c *Conn) {
+		for {
+			p, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if err := c.Send(p); err != nil {
+				return
+			}
+		}
+	})
+	client, err = a.Dial("b", "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, k, kstop
+}
+
+// TestDESDelayIsVirtual: an hour of configured link latency completes in
+// wall-clock test time because the delay elapses on the virtual clock.
+func TestDESDelayIsVirtual(t *testing.T) {
+	s := NewFaultSchedule(1).AddLink(LinkFaults{Latency: time.Hour, Jitter: 30 * time.Minute})
+	c, k, stop := desPair(t, s)
+	defer stop()
+	start := time.Now()
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		reply, err := c.Request([]byte(fmt.Sprintf("m%02d", i)))
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("m%02d", i); string(reply) != want {
+			t.Fatalf("request %d: got %q, want %q — virtual delay pipeline reordered the link", i, reply, want)
+		}
+	}
+	if wall := time.Since(start); wall > 30*time.Second {
+		t.Fatalf("50 round trips with 1h virtual latency took %v of wall clock", wall)
+	}
+	st := s.Stats()
+	if st.Delayed != 2*msgs { // both directions ride the wildcard rule
+		t.Fatalf("delayed %d messages, want %d", st.Delayed, 2*msgs)
+	}
+	// The virtual clock advanced by modeled hours.
+	if now := k.Now(); now < des.DurationCycles(time.Hour) {
+		t.Fatalf("virtual clock at %d cycles, want >= one modeled hour (%d)", now, des.DurationCycles(time.Hour))
+	}
+}
+
+// TestDESPipelineFIFO: a burst of one-way sends through a jittered link
+// arrives in send order — the per-link release clamp keeps jitter from
+// reordering on its own.
+func TestDESPipelineFIFO(t *testing.T) {
+	s := NewFaultSchedule(3).AddLink(LinkFaults{From: "a", To: "b", Latency: time.Second, Jitter: 5 * time.Second})
+	c, _, stop := desPair(t, s)
+	defer stop()
+	const msgs = 200
+	for i := 0; i < msgs; i++ {
+		if err := c.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		p, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[0] != byte(i) {
+			t.Fatalf("message %d arrived in position of %d — jitter reordered the link", p[0], i)
+		}
+	}
+}
+
+// TestDESReorderHoldFlushes: a reorder-held message with no successor is
+// flushed by the virtual-clock hold timer, not a wall timer.
+func TestDESReorderHoldFlushes(t *testing.T) {
+	s := NewFaultSchedule(5).AddLink(LinkFaults{From: "a", To: "b", ReorderProb: 1})
+	c, _, stop := desPair(t, s)
+	defer stop()
+	if err := c.Send([]byte("lonely")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p) != "lonely" {
+		t.Fatalf("flushed payload %q", p)
+	}
+	if st := s.Stats(); st.Reordered != 1 {
+		t.Fatalf("reordered %d, want 1", st.Reordered)
+	}
+}
+
+// TestDESFaultStatsDeterministic: two identical DES runs produce
+// identical fault stats — the decision streams are seeded per link and
+// the delays no longer sample wall time.
+func TestDESFaultStatsDeterministic(t *testing.T) {
+	run := func() FaultStats {
+		s := NewFaultSchedule(11).AddLink(LinkFaults{
+			Latency: 20 * time.Millisecond, Jitter: 80 * time.Millisecond,
+			DropProb: 0.1, DupProb: 0.05,
+		})
+		c, _, stop := desPair(t, s)
+		defer stop()
+		for i := 0; i < 100; i++ {
+			if err := c.Send([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain whatever survived the drops; duplicates may add extras.
+		for {
+			if _, err := c.RecvTimeout(200 * time.Millisecond); err != nil {
+				break
+			}
+		}
+		return s.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fault stats diverge across identical DES runs:\n%+v\n%+v", a, b)
+	}
+	if a.Delayed == 0 || a.Dropped == 0 {
+		t.Fatalf("schedule intervened too little to be a meaningful determinism check: %+v", a)
+	}
+}
