@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands directly.
 
-.PHONY: build test race bench bench-smoke tables trace
+.PHONY: build test race bench bench-smoke bench-gate tables trace series
 
 build:
 	go build ./...
@@ -21,6 +21,15 @@ bench:
 bench-smoke:
 	go test -run '^$$' -bench=. -benchtime=1x ./...
 
+# bench-gate runs the four headline benchmarks fresh and fails if any
+# regressed past 25% of the committed BENCH_baseline.json. Run on the
+# same class of machine as the baseline; CI uses a wider threshold
+# because two of the four metrics are wall-clock.
+bench-gate:
+	go run ./cmd/benchjson -out /tmp/bench-gate.json -benchtime 1x \
+		-pattern 'FullSweep|ScaleSweep|LoadSweep|XcallSweep'
+	go run ./cmd/benchjson -gate -results /tmp/bench-gate.json
+
 tables:
 	go run ./cmd/sgxnet-tables
 
@@ -30,3 +39,10 @@ tables:
 trace:
 	go run ./cmd/sgxnet-tables -trace out.trace > /dev/null
 	go run ./cmd/sgxnet-trace -check -min-coverage 0.95 out.trace
+
+# series records the windowed time-series export of the load sweep and
+# runs the analyzer over it: top movers, monotone-growth gauges, and the
+# multi-window SLO burn-rate alerts.
+series:
+	go run ./cmd/sgxnet-tables -load-sweep -series out.csv > /dev/null
+	go run ./cmd/sgxnet-trace -series out.csv

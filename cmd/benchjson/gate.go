@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The bench-regression gate: compare a fresh BENCH_results.json against
+// the committed BENCH_baseline.json on a small set of headline metrics
+// and fail when any regresses past the threshold. The gate is a pure
+// file-vs-file comparison — it never reruns benchmarks — so the caller
+// decides how the "current" file was produced (make bench locally, a
+// fresh benchjson run in CI).
+//
+// Two of the four gated metrics (FullSweep wall time, ScaleSweep
+// events/sec) are wall-clock and move with the machine; the other two
+// (LoadSweep worst p999/p50, XcallSweep min speedup) are ratios of
+// virtual-cycle quantities and are deterministic. CI therefore runs the
+// gate with a wider -max-regress than the local default.
+
+// gateMetric names one headline metric: which benchmark it lives on,
+// which reported unit carries it (empty = ns/op), and which direction is
+// better.
+type gateMetric struct {
+	bench        string // sub-benchmark name, without the -GOMAXPROCS suffix
+	metric       string // Metrics key; "" means the ns/op field
+	higherBetter bool
+	label        string // human-readable row name
+}
+
+// gateMetrics is the gated set: one summary number per committed sweep
+// benchmark, chosen so a regression names the subsystem at fault.
+var gateMetrics = []gateMetric{
+	{"BenchmarkFullSweep/workers=1", "", false,
+		"full-sweep wall ns/op"},
+	{"BenchmarkScaleSweep/workers=1", "events/sec", true,
+		"scale-sweep kernel throughput"},
+	{"BenchmarkLoadSweep/workers=1", "worst-p999/p50-x", false,
+		"load-sweep worst tail amplification"},
+	{"BenchmarkXcallSweep/workers=1", "min-speedup-x", true,
+		"xcall min batching speedup"},
+}
+
+// gateRow is one evaluated metric.
+type gateRow struct {
+	label   string
+	base    float64
+	cur     float64
+	regress float64 // fractional regression (negative = improved)
+	failed  bool
+	missing string // non-empty: which side lacked the metric
+}
+
+// findResult locates a benchmark by its logical name, tolerating the
+// "-8"-style GOMAXPROCS suffix go test appends on multi-core machines
+// (the committed baseline was recorded at GOMAXPROCS=1 and has none).
+func findResult(rep *Report, bench string) *Result {
+	for i := range rep.Results {
+		name := collisionSuffix.ReplaceAllString(rep.Results[i].Name, "")
+		if name == bench || strings.HasPrefix(name, bench+"-") {
+			return &rep.Results[i]
+		}
+	}
+	return nil
+}
+
+// metricValue extracts the gated unit from a result.
+func metricValue(r *Result, metric string) (float64, bool) {
+	if metric == "" {
+		return r.NsPerOp, r.NsPerOp > 0
+	}
+	v, ok := r.Metrics[metric]
+	return v, ok
+}
+
+// evalGate compares every gated metric. A metric missing from either
+// report fails the gate: a silently vanished benchmark must not read as
+// "no regression".
+func evalGate(baseline, current *Report, maxRegress float64) []gateRow {
+	rows := make([]gateRow, 0, len(gateMetrics))
+	for _, g := range gateMetrics {
+		row := gateRow{label: g.label}
+		br := findResult(baseline, g.bench)
+		cr := findResult(current, g.bench)
+		switch {
+		case br == nil:
+			row.missing, row.failed = "baseline: no "+g.bench, true
+		case cr == nil:
+			row.missing, row.failed = "current: no "+g.bench, true
+		default:
+			bv, bok := metricValue(br, g.metric)
+			cv, cok := metricValue(cr, g.metric)
+			switch {
+			case !bok || bv == 0:
+				row.missing, row.failed = "baseline: no value", true
+			case !cok:
+				row.missing, row.failed = "current: no value", true
+			default:
+				row.base, row.cur = bv, cv
+				if g.higherBetter {
+					row.regress = (bv - cv) / bv
+				} else {
+					row.regress = (cv - bv) / bv
+				}
+				row.failed = row.regress > maxRegress
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// renderGate prints the comparison table and returns the failure count.
+func renderGate(w io.Writer, rows []gateRow, maxRegress float64) int {
+	failures := 0
+	for _, r := range rows {
+		status := "ok"
+		if r.failed {
+			failures++
+			status = "FAIL"
+		}
+		if r.missing != "" {
+			fmt.Fprintf(w, "%-4s %-36s %s\n", status, r.label, r.missing)
+			continue
+		}
+		fmt.Fprintf(w, "%-4s %-36s base %14.3f  cur %14.3f  regress %+6.1f%% (limit %.0f%%)\n",
+			status, r.label, r.base, r.cur, 100*r.regress, 100*maxRegress)
+	}
+	return failures
+}
+
+// readReport loads one benchjson output file.
+func readReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

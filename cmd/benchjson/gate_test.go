@@ -1,0 +1,136 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// report builds a minimal Report carrying the four gated metrics, with
+// multipliers applied to each so tests can dial regressions in
+// per-metric. Order: fullsweep ns/op, scalesweep events/sec, loadsweep
+// p999/p50, xcall min speedup.
+func report(suffix string, mul [4]float64) *Report {
+	return &Report{Results: []Result{
+		{Name: "BenchmarkFullSweep/workers=1" + suffix, NsPerOp: 1e9 * mul[0]},
+		// A same-benchmark sibling the matcher must not confuse with the
+		// workers=1 variant (it also reports events/sec).
+		{Name: "BenchmarkScaleSweep/sdn-1024" + suffix, NsPerOp: 5e8,
+			Metrics: map[string]float64{"events/sec": 1}},
+		{Name: "BenchmarkScaleSweep/workers=1" + suffix, NsPerOp: 2e9,
+			Metrics: map[string]float64{"events/sec": 5e6 * mul[1]}},
+		{Name: "BenchmarkLoadSweep/workers=1" + suffix, NsPerOp: 3e9,
+			Metrics: map[string]float64{"worst-p999/p50-x": 6 * mul[2]}},
+		{Name: "BenchmarkXcallSweep/workers=1" + suffix, NsPerOp: 4e9,
+			Metrics: map[string]float64{"min-speedup-x": 2 * mul[3]}},
+	}}
+}
+
+func failures(rows []gateRow) int {
+	n := 0
+	for _, r := range rows {
+		if r.failed {
+			n++
+		}
+	}
+	return n
+}
+
+func TestGateIdenticalPasses(t *testing.T) {
+	one := [4]float64{1, 1, 1, 1}
+	rows := evalGate(report("", one), report("", one), 0.25)
+	if len(rows) != len(gateMetrics) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(gateMetrics))
+	}
+	if n := failures(rows); n != 0 {
+		t.Fatalf("identical reports failed %d metrics: %+v", n, rows)
+	}
+}
+
+// TestGateDirections: for each metric, a change past the threshold in
+// the bad direction fails, and the same-magnitude change in the good
+// direction passes — the gate must know which way is up.
+func TestGateDirections(t *testing.T) {
+	one := [4]float64{1, 1, 1, 1}
+	base := report("", one)
+	// worse: slower wall, lower throughput, fatter tail, less speedup
+	worse := [4]float64{1.5, 0.5, 1.5, 0.5}
+	better := [4]float64{0.5, 1.5, 0.5, 1.5}
+	for i, g := range gateMetrics {
+		mul := one
+		mul[i] = worse[i]
+		rows := evalGate(base, report("", mul), 0.25)
+		if !rows[i].failed {
+			t.Errorf("%s: regression in bad direction did not fail (regress %.2f)", g.label, rows[i].regress)
+		}
+		if n := failures(rows); n != 1 {
+			t.Errorf("%s: regression bled into other rows (%d failures)", g.label, n)
+		}
+		mul[i] = better[i]
+		if rows := evalGate(base, report("", mul), 0.25); failures(rows) != 0 {
+			t.Errorf("%s: improvement flagged as regression", g.label)
+		}
+	}
+}
+
+func TestGateThresholdBoundary(t *testing.T) {
+	one := [4]float64{1, 1, 1, 1}
+	base := report("", one)
+	// Exactly at the threshold passes (> not >=), just past it fails.
+	at := evalGate(base, report("", [4]float64{1.25, 1, 1, 1}), 0.25)
+	if at[0].failed {
+		t.Fatalf("regression exactly at threshold should pass, got regress %.4f", at[0].regress)
+	}
+	past := evalGate(base, report("", [4]float64{1.26, 1, 1, 1}), 0.25)
+	if !past[0].failed {
+		t.Fatalf("regression past threshold should fail, got regress %.4f", past[0].regress)
+	}
+}
+
+// TestGateMultiCoreSuffix: the current report may carry "-8"-style
+// GOMAXPROCS suffixes the single-core baseline lacks; matching is by
+// logical name.
+func TestGateMultiCoreSuffix(t *testing.T) {
+	one := [4]float64{1, 1, 1, 1}
+	rows := evalGate(report("", one), report("-8", one), 0.25)
+	if n := failures(rows); n != 0 {
+		t.Fatalf("suffix mismatch broke matching: %+v", rows)
+	}
+}
+
+// TestGateMissingBenchmarkFails: a vanished benchmark must read as a
+// gate failure, not as "no regression".
+func TestGateMissingBenchmarkFails(t *testing.T) {
+	one := [4]float64{1, 1, 1, 1}
+	cur := report("", one)
+	cur.Results = cur.Results[1:] // drop FullSweep
+	rows := evalGate(report("", one), cur, 0.25)
+	if !rows[0].failed || !strings.Contains(rows[0].missing, "current") {
+		t.Fatalf("missing benchmark not flagged: %+v", rows[0])
+	}
+	// And a metric present on the benchmark but missing its unit.
+	cur2 := report("", one)
+	delete(cur2.Results[4].Metrics, "min-speedup-x")
+	rows2 := evalGate(report("", one), cur2, 0.25)
+	if !rows2[3].failed {
+		t.Fatalf("missing metric unit not flagged: %+v", rows2[3])
+	}
+}
+
+// TestGateAgainstCommittedBaseline keeps the gate table honest: every
+// gated metric must actually exist in the committed baseline file, so a
+// benchmark rename cannot silently decouple the gate from reality.
+func TestGateAgainstCommittedBaseline(t *testing.T) {
+	base, err := readReport("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := evalGate(base, base, 0.25)
+	for _, r := range rows {
+		if r.missing != "" {
+			t.Errorf("%s: %s — gate table out of sync with BENCH_baseline.json", r.label, r.missing)
+		}
+		if r.failed {
+			t.Errorf("%s: self-comparison failed", r.label)
+		}
+	}
+}

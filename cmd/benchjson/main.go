@@ -3,9 +3,14 @@
 // via make bench). Committing the file gives every PR a baseline to diff
 // perf work against without re-deriving it from CI logs.
 //
+// With -gate it instead compares an existing results file against the
+// committed baseline and exits non-zero when a headline metric regressed
+// past -max-regress — the CI perf gate.
+//
 // Usage:
 //
 //	benchjson [-out BENCH_results.json] [-benchtime 1s] [-pattern .]
+//	benchjson -gate [-baseline BENCH_baseline.json] [-results BENCH_results.json] [-max-regress 0.25]
 package main
 
 import (
@@ -51,7 +56,28 @@ func main() {
 	out := flag.String("out", "BENCH_results.json", "output file")
 	benchtime := flag.String("benchtime", "1s", "passed to go test -benchtime")
 	pattern := flag.String("pattern", ".", "passed to go test -bench")
+	gate := flag.Bool("gate", false, "compare -results against -baseline instead of running benchmarks; exit 1 on regression")
+	baseline := flag.String("baseline", "BENCH_baseline.json", "gate: committed baseline report")
+	results := flag.String("results", "BENCH_results.json", "gate: current report to judge")
+	maxRegress := flag.Float64("max-regress", 0.25, "gate: fail when a metric regresses by more than this fraction")
 	flag.Parse()
+
+	if *gate {
+		base, err := readReport(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur, err := readReport(*results)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows := evalGate(base, cur, *maxRegress)
+		if n := renderGate(os.Stdout, rows, *maxRegress); n > 0 {
+			log.Fatalf("%d of %d gated metrics regressed past %.0f%%", n, len(rows), 100**maxRegress)
+		}
+		fmt.Printf("gate ok: %d metrics within %.0f%% of baseline\n", len(rows), 100**maxRegress)
+		return
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *pattern,
 		"-benchmem", "-benchtime", *benchtime, "./..."}

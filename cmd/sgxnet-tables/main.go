@@ -15,6 +15,8 @@
 //	sgxnet-tables -workers 8       # evaluation-engine parallelism (0 = GOMAXPROCS)
 //	sgxnet-tables -trace out.trace # also record a deterministic trace (JSONL)
 //	sgxnet-tables -trace out.json -trace-format chrome  # Perfetto-viewable
+//	sgxnet-tables -series out.csv  # also record windowed time-series metrics
+//	sgxnet-tables -series out.om -series-format openmetrics
 //	sgxnet-tables -debug-addr :6060                     # pprof/expvar server
 package main
 
@@ -32,22 +34,26 @@ import (
 	"sgxnet/internal/core"
 	"sgxnet/internal/eval"
 	"sgxnet/internal/obs"
+	"sgxnet/internal/obs/series"
 )
 
 // options selects which sections emit produces.
 type options struct {
-	table       int
-	fig         int
-	ablations   bool
-	epcSweep    bool
-	xcallSweep  bool
-	loadSweep   bool
-	scaleSweep  bool
-	faults      bool
-	csv         bool
-	workers     int    // evaluation-engine parallelism; 0 = GOMAXPROCS
-	trace       string // trace output path; "" disables tracing
-	traceFormat string // "jsonl" (default) or "chrome"
+	table        int
+	fig          int
+	ablations    bool
+	epcSweep     bool
+	xcallSweep   bool
+	loadSweep    bool
+	scaleSweep   bool
+	faults       bool
+	csv          bool
+	workers      int    // evaluation-engine parallelism; 0 = GOMAXPROCS
+	trace        string // trace output path; "" disables tracing
+	traceFormat  string // "jsonl" (default) or "chrome"
+	series       string // series output path; "" disables the sampler layer
+	seriesFormat string // "csv" (default) or "openmetrics"
+	seriesWindow uint64 // window width in cycles; 0 = series.DefaultWindowCycles
 }
 
 // all reports whether every deterministic section should run. The fault
@@ -74,6 +80,15 @@ func emit(w io.Writer, o options) error {
 		core.SetDefaultProbe(reg)
 		defer core.SetDefaultProbe(nil)
 		r.SetTrace(tr)
+	}
+	var set *series.Set
+	if o.series != "" {
+		// The windowed sampler layer: instrumented sweeps observe
+		// per-window counters and gauges on their virtual clocks. The
+		// reduction is order-invariant and tracks are per-cell, so the
+		// exported series are byte-identical at any -workers count.
+		set = series.NewSet(o.seriesWindow)
+		r.SetSeries(set)
 	}
 	section := func(name string, render func(w io.Writer) error) eval.Section {
 		return func() ([]byte, error) {
@@ -223,7 +238,32 @@ func emit(w io.Writer, o options) error {
 			return err
 		}
 	}
+	if set != nil {
+		if err := writeSeries(o.series, o.seriesFormat, set); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeSeries exports the series set to path in the chosen format.
+func writeSeries(path, format string, set *series.Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "", "csv":
+		err = series.WriteCSV(f, set)
+	case "openmetrics":
+		err = series.WriteOpenMetrics(f, set)
+	default:
+		err = fmt.Errorf("unknown -series-format %q (want csv or openmetrics)", format)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeTrace exports the trace to path in the chosen format.
@@ -263,6 +303,9 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "evaluation-engine worker pool size; 0 = GOMAXPROCS, 1 = serial")
 	flag.StringVar(&o.trace, "trace", "", "write a deterministic trace of the run to this file")
 	flag.StringVar(&o.traceFormat, "trace-format", "jsonl", "trace format: jsonl (for sgxnet-trace) or chrome (for Perfetto)")
+	flag.StringVar(&o.series, "series", "", "write windowed time-series metrics (virtual-clock windows) to this file")
+	flag.StringVar(&o.seriesFormat, "series-format", "csv", "series format: csv (for sgxnet-trace -series) or openmetrics")
+	flag.Uint64Var(&o.seriesWindow, "series-window", 0, "series window width in cycles; 0 = the default 4Mi")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060); off by default")
 	flag.Parse()
 

@@ -1,7 +1,10 @@
 // Command sgxnet-trace analyzes a JSONL trace produced by
 // sgxnet-tables -trace: it validates the stream, attributes each
 // track's run total to named spans, and ranks the spans that spent the
-// most SGX instructions.
+// most SGX instructions. With -series it instead analyzes a windowed
+// time-series CSV produced by sgxnet-tables -series: per-window top
+// movers, unbounded-growth detection on gauges, and SLO burn-rate
+// alert evaluation over viol./done. counter pairs.
 //
 // Usage:
 //
@@ -9,6 +12,7 @@
 //	sgxnet-trace -check out.trace      # validate well-formedness, exit 1 on problems
 //	sgxnet-trace -top 10 out.trace     # also rank the top spans by SGX(U) delta
 //	sgxnet-trace -metrics out.trace    # also dump the metric registry counters
+//	sgxnet-trace -series out.csv       # analyze windowed series (movers, growth, burn)
 package main
 
 import (
@@ -17,24 +21,52 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"text/tabwriter"
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/obs"
+	"sgxnet/internal/obs/series"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sgxnet-trace: ")
 	check := flag.Bool("check", false, "validate the trace (dense sequences, monotone clocks, LIFO spans) and exit non-zero on problems")
-	top := flag.Int("top", 0, "also print the N spans with the largest SGX(U) deltas")
+	top := flag.Int("top", 0, "also print the N spans with the largest SGX(U) deltas (with -series: top per-window movers, default 10)")
 	metrics := flag.Bool("metrics", false, "also print the metric registry counters")
 	minCoverage := flag.Float64("min-coverage", 0, "fail unless spans attribute at least this fraction of the reported run totals (e.g. 0.95)")
+	seriesMode := flag.Bool("series", false, "analyze a windowed time-series CSV (from sgxnet-tables -series) instead of a trace")
+	growthTrailing := flag.Int("growth-trailing", 8, "series: trailing windows the monotone-growth detector examines")
+	burnBudget := flag.Float64("burn-budget", series.DefaultBurnRule.Budget, "series: SLO error budget (violation fraction)")
+	burnThreshold := flag.Float64("burn-threshold", series.DefaultBurnRule.Threshold, "series: burn-rate multiple that fires the alert")
+	burnShort := flag.Int("burn-short", series.DefaultBurnRule.Short, "series: short trailing span, windows")
+	burnLong := flag.Int("burn-long", series.DefaultBurnRule.Long, "series: long trailing span, windows")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		log.Fatal("usage: sgxnet-trace [flags] trace.jsonl")
 	}
+
+	if *seriesMode {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		set, err := series.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rule := series.BurnRule{Budget: *burnBudget, Threshold: *burnThreshold, Short: *burnShort, Long: *burnLong}
+		n := *top
+		if n <= 0 {
+			n = 10
+		}
+		renderSeries(os.Stdout, set, n, *growthTrailing, rule)
+		return
+	}
+
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		log.Fatal(err)
@@ -62,6 +94,7 @@ func main() {
 	render(os.Stdout, a, *top, *metrics)
 
 	if *minCoverage > 0 && a.Coverage() < *minCoverage {
+		renderResiduals(os.Stderr, a)
 		log.Fatalf("coverage %.1f%% below required %.1f%%",
 			100*a.Coverage(), 100**minCoverage)
 	}
@@ -120,4 +153,126 @@ func render(w io.Writer, a *obs.Analysis, top int, metrics bool) {
 		}
 		tw.Flush()
 	}
+}
+
+// residualBreakdownTop bounds the per-track residual listing on a
+// -min-coverage failure.
+const residualBreakdownTop = 15
+
+// renderResiduals prints the per-track unattributed residuals, largest
+// first — which tracks to instrument next, instead of just the overall
+// percentage.
+func renderResiduals(w io.Writer, a *obs.Analysis) {
+	type row struct {
+		name            string
+		residual, total uint64
+	}
+	var rows []row
+	for i := range a.Tracks {
+		t := &a.Tracks[i]
+		if !t.HasTotal {
+			continue
+		}
+		if res := t.Residual().Cycles(); res > 0 {
+			rows = append(rows, row{t.Name, res, t.Total.Cycles()})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].residual != rows[j].residual {
+			return rows[i].residual > rows[j].residual
+		}
+		return rows[i].name < rows[j].name
+	})
+	fmt.Fprintf(w, "residual breakdown (%d tracks with unattributed cycles):\n", len(rows))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  track\tresidual-cycles\ttrack-total\tunattributed")
+	for i, r := range rows {
+		if i == residualBreakdownTop {
+			fmt.Fprintf(tw, "  … %d more\t\t\t\n", len(rows)-residualBreakdownTop)
+			break
+		}
+		pct := 0.0
+		if r.total > 0 {
+			pct = 100 * float64(r.residual) / float64(r.total)
+		}
+		fmt.Fprintf(tw, "  %s\t%d\t%d\t%.1f%%\n", r.name, r.residual, r.total, pct)
+	}
+	tw.Flush()
+}
+
+// renderSeries is the -series analyzer: a summary of the set, the
+// largest window-to-window movers, gauges growing monotonically over
+// the trailing windows (the unbounded-backlog signal), and the SLO
+// burn-rate alert evaluation for every viol./done. counter pair.
+func renderSeries(w io.Writer, set *series.Set, top, trailing int, rule series.BurnRule) {
+	names := set.Names()
+	var windows int
+	for _, n := range names {
+		windows += set.Get(n).Len()
+	}
+	fmt.Fprintf(w, "series: %d instruments, %d observed windows, window = %d cycles\n\n",
+		len(names), windows, set.Window())
+
+	movers := series.TopMovers(set, top)
+	fmt.Fprintf(w, "top %d movers (largest window-to-window delta):\n", top)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  series\tkind\twindow\tfrom\tto\tdelta")
+	for _, m := range movers {
+		sign := "+"
+		if m.To < m.From {
+			sign = "-"
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%d\t%d\t%d\t%s%d\n", m.Series, m.Kind, m.Window, m.From, m.To, sign, m.Delta)
+	}
+	tw.Flush()
+
+	fmt.Fprintf(w, "\nmonotone growth over trailing %d windows (gauges):\n", trailing)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	grew := 0
+	for _, n := range names {
+		s := set.Get(n)
+		if s.Kind != series.Gauge {
+			continue
+		}
+		if g, ok := series.DetectGrowth(s, trailing); ok {
+			grew++
+			fmt.Fprintf(tw, "  %s\t%d windows\t%d -> %d\tGROWING\n", g.Series, g.Windows, g.First, g.Last)
+		}
+	}
+	if grew == 0 {
+		fmt.Fprintln(tw, "  none\t(no gauge grows monotonically over the trailing windows)")
+	}
+	tw.Flush()
+
+	pairs := series.BurnPairs(set)
+	fmt.Fprintf(w, "\nburn-rate alerts (budget %.3f, threshold %.1fx, spans %d/%d windows):\n",
+		rule.Budget, rule.Threshold, rule.Short, rule.Long)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(pairs) == 0 {
+		fmt.Fprintln(tw, "  none\t(no viol./done. counter pairs in the set)")
+	}
+	for _, p := range pairs {
+		pts := series.BurnRate(p.Viol, p.Done, rule)
+		firing := 0
+		var first, last uint64
+		var peak float64
+		for _, b := range pts {
+			if b.Alert {
+				if firing == 0 {
+					first = b.Window
+				}
+				last = b.Window
+				firing++
+			}
+			if b.Short > peak {
+				peak = b.Short
+			}
+		}
+		status := "ok"
+		if firing > 0 {
+			status = fmt.Sprintf("ALERT in %d windows [%d..%d]", firing, first, last)
+		}
+		fmt.Fprintf(tw, "  %s\tpeak burn %.1fx\t%s\n", p.Stream, peak, status)
+	}
+	tw.Flush()
 }

@@ -249,6 +249,20 @@ type Pager struct {
 	evicted  map[PageKey]*EvictedPage // the untrusted OS's blob store
 	stats    PagerStats
 	byTenant map[EnclaveID]*PagerStats
+
+	// Windowed-metrics hook (nil = off): every fault/evict/reload is
+	// sampled at the caller-wired virtual clock, pager-wide and per
+	// tenant, plus a residency gauge — the "EPC residency collapses when
+	// the antagonist arrives" view the lifetime counters cannot give.
+	series      SampleProbe
+	seriesClock func() uint64
+	tenantNames map[EnclaveID]*pagerTenantNames
+}
+
+// pagerTenantNames caches the per-tenant series names so the fault path
+// does not format strings per event.
+type pagerTenantNames struct {
+	fault, evict, reload string
 }
 
 // NewPager builds a pager over the given EPC. A nil policy selects
@@ -268,6 +282,37 @@ func NewPager(epc *EPC, policy VictimPolicy) *Pager {
 
 // Policy returns the active replacement policy.
 func (pg *Pager) Policy() VictimPolicy { return pg.policy }
+
+// SetSeries attaches a windowed-metrics probe, stamping samples from
+// clock (a virtual cycle clock owned by the caller — typically the load
+// engine's request clock or an accumulated-meter reading; the pager
+// itself keeps no notion of time). Pass nil to detach. Call before
+// driving traffic; the hook is read under pg.mu.
+func (pg *Pager) SetSeries(sp SampleProbe, clock func() uint64) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	pg.series = sp
+	pg.seriesClock = clock
+	if sp != nil && pg.tenantNames == nil {
+		pg.tenantNames = make(map[EnclaveID]*pagerTenantNames)
+	}
+}
+
+// seriesTenant returns the cached per-tenant series names. Caller holds
+// pg.mu and has checked pg.series != nil.
+func (pg *Pager) seriesTenant(id EnclaveID) *pagerTenantNames {
+	tn := pg.tenantNames[id]
+	if tn == nil {
+		suffix := fmt.Sprintf(".tenant%d", id)
+		tn = &pagerTenantNames{
+			fault:  "pager.fault" + suffix,
+			evict:  "pager.evict" + suffix,
+			reload: "pager.reload" + suffix,
+		}
+		pg.tenantNames[id] = tn
+	}
+	return tn
+}
 
 // ErrPagerNoVictim is returned when the EPC is full and the pager
 // manages no resident page it could evict (the EPC is exhausted by
@@ -289,6 +334,9 @@ func (pg *Pager) Touch(m *Meter, owner EnclaveID, addr uint64) (bool, error) {
 		pg.stats.Hits++
 		pg.tenant(owner).Hits++
 		pg.epc.observe(KindPagerHit, 1)
+		if pg.series != nil {
+			pg.series.CountAt("pager.hit", pg.seriesClock(), 1)
+		}
 		return false, nil
 	}
 	if err := pg.fault(m, k); err != nil {
@@ -333,6 +381,14 @@ func (pg *Pager) fault(m *Meter, k PageKey) error {
 	ts := pg.tenant(k.Enclave)
 	ts.Faults++
 	pg.epc.observe(KindPagerFault, 1)
+	var now uint64
+	var tn *pagerTenantNames
+	if pg.series != nil {
+		now = pg.seriesClock()
+		tn = pg.seriesTenant(k.Enclave)
+		pg.series.CountAt("pager.fault", now, 1)
+		pg.series.CountAt(tn.fault, now, 1)
+	}
 	// The faulting access itself: asynchronous exit out of the enclave,
 	// OS fault handler, ERESUME back in.
 	m.ChargeSGX(SGXInstPageFault)
@@ -360,6 +416,12 @@ func (pg *Pager) fault(m *Meter, k PageKey) error {
 		pg.stats.Resident--
 		ts.Evictions++
 		pg.epc.observe(KindPagerEvict, 1)
+		if pg.series != nil {
+			// Attributed like PagerStats: to the faulting tenant whose
+			// access forced the eviction, not the victim page's owner.
+			pg.series.CountAt("pager.evict", now, 1)
+			pg.series.CountAt(tn.evict, now, 1)
+		}
 	}
 
 	if ev, ok := pg.evicted[k]; ok {
@@ -372,6 +434,10 @@ func (pg *Pager) fault(m *Meter, k PageKey) error {
 		pg.stats.Reloads++
 		ts.Reloads++
 		pg.epc.observe(KindPagerReload, 1)
+		if pg.series != nil {
+			pg.series.CountAt("pager.reload", now, 1)
+			pg.series.CountAt(tn.reload, now, 1)
+		}
 	} else {
 		// First touch: demand-zero allocation of a fresh data page,
 		// charged like the EADD it models.
@@ -389,6 +455,9 @@ func (pg *Pager) fault(m *Meter, k PageKey) error {
 	pg.stats.Resident++
 	if pg.stats.Resident > pg.stats.Peak {
 		pg.stats.Peak = pg.stats.Resident
+	}
+	if pg.series != nil {
+		pg.series.GaugeAt("pager.resident", now, uint64(pg.stats.Resident))
 	}
 	return nil
 }

@@ -1,0 +1,20 @@
+package core
+
+// SampleProbe is the windowed-metrics hook: where Probe reports bare
+// occurrence counts, a SampleProbe receives (virtual timestamp, value)
+// samples so a time-series layer can bucket them into windows. Like
+// Probe it is deliberately structural — one counter method, one gauge
+// method — so internal/obs/series.Sampler satisfies it without core
+// importing the observability tree.
+//
+// Timestamps are modeled cycles on whatever virtual clock the wiring
+// call supplies (core itself keeps no clock: meters measure work, not
+// time-of-day). Implementations must be safe for concurrent use and
+// must reduce order-invariantly; a nil SampleProbe is the default and
+// costs one pointer check per site.
+type SampleProbe interface {
+	// CountAt adds n occurrences of the named counter at virtual time t.
+	CountAt(name string, t, n uint64)
+	// GaugeAt records level v of the named gauge at virtual time t.
+	GaugeAt(name string, t, v uint64)
+}

@@ -6,6 +6,7 @@ import (
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/obs"
+	"sgxnet/internal/obs/series"
 )
 
 // EPC oversubscription sweep: the experiment the paper's central
@@ -121,14 +122,17 @@ func (r *Runner) EPCSweep() ([]EPCSweepPoint, error) {
 	}
 	return mapOrdered(r, len(cells), func(i int) (EPCSweepPoint, error) {
 		c := cells[i]
-		return epcSweepPoint(r.trace, c.tenants, c.ratio, c.policy)
+		return epcSweepPoint(r.trace, r.series, c.tenants, c.ratio, c.policy)
 	})
 }
 
 // epcSweepPoint measures one cell: the SGX leg (tenant enclaves
 // faulting through a shared pager) and the native leg (the same ops
-// with no enclave and no EPC constraint).
-func epcSweepPoint(tr *obs.Trace, tenants int, ratio float64, policy string) (EPCSweepPoint, error) {
+// with no enclave and no EPC constraint). With a series set attached,
+// the pager samples per-tenant fault/evict/reload counters and the
+// residency gauge per window, stamped by the accumulated tenant meters
+// — the cell's own virtual clock.
+func epcSweepPoint(tr *obs.Trace, set *series.Set, tenants int, ratio float64, policy string) (EPCSweepPoint, error) {
 	pt := EPCSweepPoint{Tenants: tenants, Ratio: ratio, Policy: policy}
 	track := fmt.Sprintf("epc-sweep/tenants=%d/ratio=%.1f/policy=%s", tenants, ratio, policy)
 
@@ -172,6 +176,19 @@ func epcSweepPoint(tr *obs.Trace, tenants int, ratio float64, policy string) (EP
 	for i, e := range encs {
 		meters[i] = e.Meter()
 		meters[i].Reset() // launch cost is not part of the steady-state comparison
+	}
+	if sm := set.Sampler(track); sm != nil {
+		// The cell has no event loop, so its virtual clock is the summed
+		// tenant meters: monotone within the leg (meters only accumulate
+		// after the reset above), and a pure function of the serial fault
+		// sequence, so the windows are as deterministic as the tallies.
+		pager.SetSeries(sm, func() uint64 {
+			var c uint64
+			for _, m := range meters {
+				c += m.Snapshot().Cycles()
+			}
+			return c
+		})
 	}
 	sp := tr.Begin(track, "sgx", meters...)
 	for pass := 0; pass < epcSweepPasses; pass++ {

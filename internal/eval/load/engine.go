@@ -6,6 +6,7 @@ import (
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/obs"
+	"sgxnet/internal/obs/series"
 )
 
 // Server is one request sink a stream drives. Serve processes logical
@@ -72,6 +73,18 @@ type arrival struct {
 // is exactly the regime where EPC paging and ring-drain spikes surface
 // in the tail, which is what the sweep exists to show.
 func Run(tr *obs.Trace, trackName string, streams []StreamConfig) (*Result, error) {
+	return RunSampled(tr, trackName, nil, nil, streams)
+}
+
+// RunSampled is Run with the windowed-metrics layer attached: per-stream
+// arrivals/done/viol counters and queue-depth/in-flight gauges sampled
+// on the engine's virtual clock, bucketed by the sampler's set. clk,
+// when non-nil, is advanced to each request's start and finish so rig
+// internals wired to the same clock (a pager, an xcall ring) stamp
+// their samples inside the request window that caused them. Both sm
+// and clk may be nil (independently); determinism is unchanged — the
+// samples are pure functions of the schedule and the tallies.
+func RunSampled(tr *obs.Trace, trackName string, sm *series.Sampler, clk *series.Clock, streams []StreamConfig) (*Result, error) {
 	var sched []arrival
 	spanNames := make([]string, len(streams))
 	for si, st := range streams {
@@ -96,16 +109,38 @@ func Run(tr *obs.Trace, trackName string, streams []StreamConfig) (*Result, erro
 
 	res := &Result{Combined: NewHist()}
 	res.Streams = make([]StreamResult, len(streams))
+	arrivalNames := make([]string, len(streams))
+	doneNames := make([]string, len(streams))
+	violNames := make([]string, len(streams))
 	for si, st := range streams {
 		res.Streams[si] = StreamResult{Name: st.Name, Spec: st.Spec, Hist: NewHist(), SLO: st.SLO}
+		arrivalNames[si] = "arrivals." + st.Name
+		doneNames[si] = "done." + st.Name
+		violNames[si] = "viol." + st.Name
 	}
 
 	var clock uint64 // virtual time the server frees up
-	for _, a := range sched {
+	finishes := make([]uint64, 0, len(sched))
+	donePtr := 0 // finishes[:donePtr] completed before the current arrival
+	for i, a := range sched {
 		start := clock
 		if a.t > start {
 			start = a.t
 		}
+		if sm != nil {
+			// In-flight = arrived but unfinished at this arrival instant
+			// (including this request); finishes are monotone under FIFO,
+			// so a moving pointer suffices. Queue depth excludes the one
+			// in service.
+			for donePtr < i && finishes[donePtr] <= a.t {
+				donePtr++
+			}
+			inflight := uint64(i - donePtr + 1)
+			sm.GaugeAt("queue.inflight", a.t, inflight)
+			sm.GaugeAt("queue.depth", a.t, inflight-1)
+			sm.CountAt(arrivalNames[a.stream], a.t, 1)
+		}
+		clk.Advance(start)
 		tally, err := streams[a.stream].Srv.Serve(a.idx)
 		if err != nil {
 			return nil, fmt.Errorf("stream %s request %d: %w", streams[a.stream].Name, a.idx, err)
@@ -113,13 +148,22 @@ func Run(tr *obs.Trace, trackName string, streams []StreamConfig) (*Result, erro
 		svc := tally.Cycles()
 		finish := start + svc
 		clock = finish
+		clk.Advance(finish)
+		finishes = append(finishes, finish)
 		lat := finish - a.t
 
 		sr := &res.Streams[a.stream]
 		sr.Hist.Add(lat)
 		sr.Service = sr.Service.Add(tally)
-		if sr.SLO > 0 && lat > sr.SLO {
+		violated := sr.SLO > 0 && lat > sr.SLO
+		if violated {
 			sr.Violations++
+		}
+		if sm != nil {
+			sm.CountAt(doneNames[a.stream], finish, 1)
+			if violated {
+				sm.CountAt(violNames[a.stream], finish, 1)
+			}
 		}
 		res.Service = res.Service.Add(tally)
 		tr.RecordSpanAt(trackName, spanNames[a.stream], start, tally)

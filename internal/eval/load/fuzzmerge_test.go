@@ -1,0 +1,129 @@
+package load
+
+import (
+	"bytes"
+	"testing"
+
+	"sgxnet/internal/obs/series"
+)
+
+// Property test for the two merge layers the -workers gates compose:
+// per-worker latency Hists merged with Hist.Merge, and per-worker
+// windowed series merged with Set.Merge, must both reduce to exactly
+// the single-worker result — under fuzz-chosen window widths (including
+// widths that slice the observation range at awkward boundaries) and
+// shard counts. The histogram quantiles and the canonical CSV export
+// are the two surfaces the goldens gate on, so those are what the
+// property compares.
+
+// fuzzmix is the seeded generator (splitmix64, stable across releases).
+func fuzzmix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func checkMergeEquivalence(t *testing.T, seed, window uint64, shards uint8, n uint16) {
+	t.Helper()
+	window = window%(48<<20) + 1 // 1 cycle .. ~48M cycles
+	k := int(shards%7) + 2       // 2..8 shards
+	reqs := int(n%2000) + 100    // spans the exact->bucketed Hist regimes
+
+	type req struct {
+		lat    uint64 // latency, cycles
+		finish uint64 // virtual finish time, cycles
+		viol   bool
+	}
+	rs := make([]req, reqs)
+	for i := range rs {
+		rs[i] = req{
+			lat:    fuzzmix(&seed) % 5_000_000,
+			finish: fuzzmix(&seed) % (96 << 20),
+		}
+		rs[i].viol = rs[i].lat > 2_500_000
+	}
+
+	record := func(h *Hist, sm *series.Sampler, r req) {
+		h.Add(r.lat)
+		sm.CountAt("done.x", r.finish, 1)
+		if r.viol {
+			sm.CountAt("viol.x", r.finish, 1)
+		}
+		sm.GaugeAt("lat.last", r.finish, r.lat)
+	}
+
+	// Single-worker reference.
+	one := NewHist()
+	oneSet := series.NewSet(window)
+	oneSm := oneSet.Sampler("cell")
+	for _, r := range rs {
+		record(one, oneSm, r)
+	}
+
+	// Sharded: round-robin across k workers, merged in reverse order.
+	hists := make([]*Hist, k)
+	sets := make([]*series.Set, k)
+	for i := 0; i < k; i++ {
+		hists[i] = NewHist()
+		sets[i] = series.NewSet(window)
+	}
+	for i, r := range rs {
+		record(hists[i%k], sets[i%k].Sampler("cell"), r)
+	}
+	mergedH := NewHist()
+	mergedS := series.NewSet(window)
+	for i := k - 1; i >= 0; i-- {
+		mergedH.Merge(hists[i])
+		mergedS.Merge(sets[i])
+	}
+
+	if mergedH.Count() != one.Count() || mergedH.Sum() != one.Sum() || mergedH.Max() != one.Max() {
+		t.Fatalf("hist merge diverges: count %d/%d sum %d/%d max %d/%d",
+			mergedH.Count(), one.Count(), mergedH.Sum(), one.Sum(), mergedH.Max(), one.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		// The spill to buckets depends on insertion order, so the two
+		// sides may sit in different regimes; only same-regime quantiles
+		// are bit-comparable (the engine always builds its combined hist
+		// by the same merge path, which is what the goldens pin).
+		if mergedH.Bucketed() == one.Bucketed() && mergedH.Quantile(q) != one.Quantile(q) {
+			t.Fatalf("q%.3f diverges: %d != %d", q, mergedH.Quantile(q), one.Quantile(q))
+		}
+	}
+
+	var a, b bytes.Buffer
+	if err := series.WriteCSV(&a, oneSet); err != nil {
+		t.Fatal(err)
+	}
+	if err := series.WriteCSV(&b, mergedS); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("series merge diverges from single-worker export (window=%d shards=%d reqs=%d)", window, k, reqs)
+	}
+	// Cross-check one reduction semantically: total done must equal the
+	// request count on both sides.
+	if got := mergedS.Get("cell/done.x").Sum(0, ^uint64(0)); got != uint64(reqs) {
+		t.Fatalf("merged done sum %d != %d requests", got, reqs)
+	}
+}
+
+// FuzzHistSeriesMerge drives the property under the fuzzer; the seed
+// corpus below runs on every plain `go test`, covering tiny windows
+// (every observation its own window), huge windows (everything in
+// window zero), and boundary-straddling widths.
+func FuzzHistSeriesMerge(f *testing.F) {
+	f.Add(uint64(1), uint64(1<<20), uint8(0), uint16(200))
+	f.Add(uint64(42), uint64(0), uint8(3), uint16(1500)) // window -> 1 cycle
+	f.Add(uint64(7), uint64(4<<20), uint8(6), uint16(900))
+	f.Add(uint64(99), uint64(96<<20), uint8(1), uint16(400)) // one giant window
+	f.Add(uint64(1234), uint64(3_333_333), uint8(4), uint16(1999))
+	f.Fuzz(func(t *testing.T, seed, window uint64, shards uint8, n uint16) {
+		checkMergeEquivalence(t, seed, window, shards, n)
+	})
+}

@@ -192,6 +192,17 @@ func NewTLSRig(name string, cfg TLSRigConfig) (*TLSRig, error) {
 // the victim's working set.
 func (r *TLSRig) Antagonist() Rig { return rigOrNil(r.antago) }
 
+// SetSeries wires the rig's pager (when paged) into a windowed-metrics
+// probe stamping from the given virtual clock — typically the load
+// engine's shared series.Clock, so fault/evict samples land in the
+// window of the request that triggered them. No-op for an unpaged rig;
+// call before the first Serve.
+func (r *TLSRig) SetSeries(sp core.SampleProbe, clock func() uint64) {
+	if r.pager != nil {
+		r.pager.SetSeries(sp, clock)
+	}
+}
+
 // Serve seals and opens one record (touching its working-set pages
 // first when paged).
 func (r *TLSRig) Serve(i int) (core.Tally, error) {

@@ -10,6 +10,7 @@ import (
 	"sgxnet/internal/core"
 	"sgxnet/internal/eval/load"
 	"sgxnet/internal/obs"
+	"sgxnet/internal/obs/series"
 	"sgxnet/internal/xcall"
 )
 
@@ -120,7 +121,7 @@ func LoadSweep() ([]LoadSweepPoint, error) {
 func (r *Runner) LoadSweep() ([]LoadSweepPoint, error) {
 	cells := loadSweepCells()
 	return mapOrdered(r, len(cells), func(i int) (LoadSweepPoint, error) {
-		return loadSweepPoint(r.trace, cells[i], loadSweepN[cells[i].app])
+		return loadSweepPoint(r.trace, r.series, cells[i], loadSweepN[cells[i].app])
 	})
 }
 
@@ -132,8 +133,11 @@ func loadSeed(track string) uint64 {
 }
 
 // buildLoadRigs constructs the victim rig (and antagonist, for "+"
-// compositions) for a cell.
-func buildLoadRigs(c loadCell) (victim, antagonist load.Rig, err error) {
+// compositions) for a cell. A non-nil sampler wires the rig's internal
+// subsystems — the TLS pager, the xcall rings — into the windowed
+// series on the shared engine clock, so fault and drain samples land in
+// the window of the request that caused them.
+func buildLoadRigs(c loadCell, sm *series.Sampler, clk *series.Clock) (victim, antagonist load.Rig, err error) {
 	switch c.app {
 	case "tor":
 		victim, err = load.NewTorRig(1, nil)
@@ -146,6 +150,9 @@ func buildLoadRigs(c loadCell) (victim, antagonist load.Rig, err error) {
 			var b int
 			b, err = strconv.Atoi(c.compose[len("xcall="):])
 			cfg.Xcall = &xcall.Config{Batch: b, SpinBudget: 64}
+			if sm != nil {
+				cfg.Xcall.Series = &xcall.SeriesConfig{Probe: sm, Clock: clk.Now}
+			}
 		case c.compose == "+epc":
 			cfg.EPCRatio = 0.8
 			cfg.Antagonist = true
@@ -156,6 +163,9 @@ func buildLoadRigs(c loadCell) (victim, antagonist load.Rig, err error) {
 		var tr *load.TLSRig
 		tr, err = load.NewTLSRig(c.compose, cfg)
 		if err == nil {
+			if sm != nil {
+				tr.SetSeries(sm, clk.Now)
+			}
 			victim = tr
 			antagonist = tr.Antagonist()
 		}
@@ -200,12 +210,17 @@ func loadCalibrate(srv load.Server) (uint64, core.Tally, error) {
 
 // loadSweepPoint measures one cell: build, calibrate, run, reduce. The
 // n parameter is the victim request count (the grid uses loadSweepN;
-// the trace golden pins a smaller point).
-func loadSweepPoint(tr *obs.Trace, c loadCell, n int) (LoadSweepPoint, error) {
+// the trace golden pins a smaller point). With a series set attached,
+// the cell samples arrivals/done/viol and queue gauges per window under
+// its track prefix, and a shared Clock ties the rig internals' samples
+// (pager faults, ring drains) to the engine's request timeline.
+func loadSweepPoint(tr *obs.Trace, set *series.Set, c loadCell, n int) (LoadSweepPoint, error) {
 	pt := LoadSweepPoint{App: c.app, Arrival: c.arrival, Rho: c.rho, Compose: c.compose, N: n}
 	track := fmt.Sprintf("load-sweep/app=%s/arr=%s/rho=%.2f/compose=%s", c.app, c.arrival, c.rho, c.compose)
+	sm := set.Sampler(track)
+	clk := &series.Clock{}
 
-	victim, antagonist, err := buildLoadRigs(c)
+	victim, antagonist, err := buildLoadRigs(c, sm, clk)
 	if err != nil {
 		return pt, err
 	}
@@ -258,7 +273,7 @@ func loadSweepPoint(tr *obs.Trace, c loadCell, n int) (LoadSweepPoint, error) {
 	}
 
 	tr.RecordSpan(track, "load.calibrate", cal)
-	res, err := load.Run(tr, track, streams)
+	res, err := load.RunSampled(tr, track, sm, clk, streams)
 	if err != nil {
 		return pt, err
 	}

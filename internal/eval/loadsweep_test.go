@@ -8,7 +8,7 @@ import (
 // TestLoadSweepPoint sanity-checks one cheap cell end to end: a stable
 // queue, positive percentiles in order, and the exact-regime reduction.
 func TestLoadSweepPoint(t *testing.T) {
-	pt, err := loadSweepPoint(nil, loadCell{"tls", "poisson", 0.5, "-"}, 64)
+	pt, err := loadSweepPoint(nil, nil, loadCell{"tls", "poisson", 0.5, "-"}, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,11 +33,11 @@ func TestLoadSweepPoint(t *testing.T) {
 // request than epc=0.5 — oversubscription puts paging on the request
 // path, which is the whole point of the composition.
 func TestLoadSweepPagerComposes(t *testing.T) {
-	under, err := loadSweepPoint(nil, loadCell{"tls", "poisson", 0.5, "epc=0.5"}, 64)
+	under, err := loadSweepPoint(nil, nil, loadCell{"tls", "poisson", 0.5, "epc=0.5"}, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	over, err := loadSweepPoint(nil, loadCell{"tls", "poisson", 0.5, "epc=1.5"}, 64)
+	over, err := loadSweepPoint(nil, nil, loadCell{"tls", "poisson", 0.5, "epc=1.5"}, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestLoadSweepAntagonistRace(t *testing.T) {
 		t.Helper()
 		r := NewRunner(workers)
 		pts, err := mapOrdered(r, len(cells), func(i int) (LoadSweepPoint, error) {
-			return loadSweepPoint(r.trace, cells[i], 48)
+			return loadSweepPoint(r.trace, r.series, cells[i], 48)
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"sgxnet/internal/obs"
+	"sgxnet/internal/obs/series"
 )
 
 // The parallel evaluation engine. The full sgxnet-tables sweep is
@@ -31,6 +32,7 @@ type Runner struct {
 	workers int
 	sem     chan struct{}
 	trace   *obs.Trace
+	series  *series.Set
 }
 
 // NewRunner builds a pool with the given parallelism; workers <= 0
@@ -56,6 +58,19 @@ func (r *Runner) SetTrace(tr *obs.Trace) { r.trace = tr }
 
 // Trace returns the attached trace, or nil.
 func (r *Runner) Trace() *obs.Trace { return r.trace }
+
+// SetSeries attaches a windowed time-series set: instrumented sweeps
+// (load, EPC, xcall, scale) sample per-window counters and gauges on
+// their virtual clocks into per-sweep-cell tracks. Window reduction is
+// order-invariant (counters sum, gauges keep the latest-timestamped
+// sample) and concurrent cells always use distinct track prefixes, so
+// the exported series — like the tables and the trace — are
+// byte-identical at any worker count. Nil (the default) keeps every
+// sampler on its no-op path.
+func (r *Runner) SetSeries(s *series.Set) { r.series = s }
+
+// Series returns the attached series set, or nil.
+func (r *Runner) Series() *series.Set { return r.series }
 
 // defaultRunner is the pool used by the package-level convenience
 // wrappers (Figure3, Table4, …): full parallelism, which by the

@@ -124,6 +124,17 @@ func (r Result) MeanLatency() uint64 {
 // produces a byte-identical Result on every run, at any worker count —
 // the kernel is private to the call and single-threaded.
 func Run(sp Spec) (Result, error) {
+	return RunSampled(sp, nil)
+}
+
+// RunSampled is Run with the windowed-metrics layer attached: the
+// kernel samples events-per-window and heap backlog at every pop, and
+// the SDN machine additionally samples the serialized inter-domain
+// controller's queueing delay (busy-until minus now — the signal that
+// grows without bound when the controller saturates). Timestamps are
+// the kernel's own virtual clock, so the series are as deterministic as
+// the Result. sm may be nil (identical to Run).
+func RunSampled(sp Spec, sm des.Sampler) (Result, error) {
 	if err := sp.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -132,10 +143,11 @@ func Run(sp Spec) (Result, error) {
 		return Result{}, err
 	}
 	k := des.New()
+	k.SetSeries(sm)
 	var m machine
 	switch sp.Kind {
 	case SDN:
-		m = newSDNSim(sp, arr, k)
+		m = newSDNSim(sp, arr, k, sm)
 	case Tor:
 		m = newTorSim(sp, arr, k)
 	}
@@ -219,14 +231,15 @@ type sdnSim struct {
 	ctrlFree uint64   // inter-domain controller busy-until
 	asFree   []uint64 // per-AS-local-controller busy-until
 	adj      [][]int  // peer list per AS
+	sm       des.Sampler
 
 	t          tally
 	ops        int
 	latencySum uint64
 }
 
-func newSDNSim(sp Spec, arr []uint64, k *des.Kernel) *sdnSim {
-	s := &sdnSim{spec: sp, arr: arr, k: k, asFree: make([]uint64, sp.Hosts)}
+func newSDNSim(sp Spec, arr []uint64, k *des.Kernel, sm des.Sampler) *sdnSim {
+	s := &sdnSim{spec: sp, arr: arr, k: k, sm: sm, asFree: make([]uint64, sp.Hosts)}
 	s.adj = make([][]int, sp.Hosts)
 	for _, e := range sp.Edges {
 		s.adj[e.A] = append(s.adj[e.A], e.B)
@@ -259,6 +272,13 @@ func (s *sdnSim) OnEvent(now uint64, arg uint64) {
 		svc := s.t.charge(sdnCtrlNormal, extraNorm, extraU)
 		start := max(now, s.ctrlFree)
 		s.ctrlFree = start + svc
+		if s.sm != nil {
+			// Controller backlog = how far busy-until runs ahead of the
+			// arriving update; the series that diverges when the serialized
+			// inter-domain controller saturates.
+			s.sm.CountAt("ctrl.updates", now, 1)
+			s.sm.GaugeAt("ctrl.backlog_cycles", now, s.ctrlFree-now)
+		}
 		s.k.At(s.ctrlFree+linkLat(s.spec.Seed, uint64(as)), s, pack(stageLocal, 0, idx))
 	case stageLocal:
 		// Validated install at the AS-local controller (§6: in-enclave

@@ -5,7 +5,9 @@ import (
 	"io"
 
 	"sgxnet/internal/eval/scale"
+	"sgxnet/internal/netsim/des"
 	"sgxnet/internal/obs"
+	"sgxnet/internal/obs/series"
 )
 
 // Discrete-event scale sweep: the goroutine-per-host rigs top out at a
@@ -63,19 +65,30 @@ func ScaleSweep() ([]ScaleSweepPoint, error) {
 func (r *Runner) ScaleSweep() ([]ScaleSweepPoint, error) {
 	specs := scaleSweepSpecs()
 	return mapOrdered(r, len(specs), func(i int) (ScaleSweepPoint, error) {
-		return scaleSweepPoint(r.trace, specs[i])
+		return scaleSweepPoint(r.trace, r.series, specs[i])
 	})
 }
 
 // scaleSweepPoint simulates one cell and records its tallies: one span
 // per build on the cell's track, with the run total their exact sum,
-// plus sweep-wide event/op counters in the registry.
-func scaleSweepPoint(tr *obs.Trace, spec string) (ScaleSweepPoint, error) {
+// plus sweep-wide event/op counters in the registry. With a series set
+// attached, the kernel samples events/backlog per window and the SDN
+// machine samples the serialized controller's queueing delay, all on
+// the cell's own virtual clock under the cell's track prefix.
+func scaleSweepPoint(tr *obs.Trace, set *series.Set, spec string) (ScaleSweepPoint, error) {
 	s, err := scale.ParseSpec(spec)
 	if err != nil {
 		return ScaleSweepPoint{}, err
 	}
-	res, err := scale.Run(s)
+	track := "scale-sweep/" + spec
+	// Assign through the concrete type so a nil set yields a nil
+	// interface (not a typed-nil des.Sampler that defeats the kernel's
+	// sampling-off fast path).
+	var sm des.Sampler
+	if sp := set.Sampler(track); sp != nil {
+		sm = sp
+	}
+	res, err := scale.RunSampled(s, sm)
 	if err != nil {
 		return ScaleSweepPoint{}, err
 	}
@@ -90,7 +103,6 @@ func scaleSweepPoint(tr *obs.Trace, spec string) (ScaleSweepPoint, error) {
 		Overhead:    res.Overhead(),
 		MeanLat:     res.MeanLatency(),
 	}
-	track := "scale-sweep/" + spec
 	tr.RecordSpan(track, "scale.native", res.Native)
 	tr.RecordSpan(track, "scale.sgx", res.SGX)
 	tr.Total(track, "run.total", res.Native.Add(res.SGX))

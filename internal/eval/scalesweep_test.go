@@ -48,11 +48,11 @@ func TestScaleSweepSpecsValid(t *testing.T) {
 // determinism gate; the transcript-level arm lives in cmd/sgxnet-tables.
 func TestScaleSweepPointDeterministic(t *testing.T) {
 	spec := scaleSweepSpecs()[0]
-	a, err := scaleSweepPoint(nil, spec)
+	a, err := scaleSweepPoint(nil, nil, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := scaleSweepPoint(nil, spec)
+	b, err := scaleSweepPoint(nil, nil, spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sgxnet/internal/obs/series"
+	"sgxnet/internal/xcall"
+)
+
+var updateSeries = flag.Bool("update-series", false, "rewrite the golden series file")
+
+// seriesRun samples the reference workload — one cell per instrumented
+// sweep, the same small points the trace golden pins — into a fresh set
+// and returns its canonical CSV export.
+func seriesRun(t *testing.T, workers int) []byte {
+	t.Helper()
+	set := series.NewSet(0)
+	r := NewRunner(workers)
+	r.SetSeries(set)
+	type cellFn func() error
+	cells := []cellFn{
+		func() error {
+			_, err := epcSweepPoint(nil, set, 2, 2.0, "clock")
+			return err
+		},
+		func() error {
+			_, err := xcallSweepPoint(nil, set, "tls", &xcall.Config{Batch: 16, SpinBudget: 64})
+			return err
+		},
+		func() error {
+			_, err := loadSweepPoint(nil, set, loadCell{"tls", "poisson", 0.8, "xcall=16"}, 48)
+			return err
+		},
+		func() error {
+			_, err := scaleSweepPoint(nil, set, "sdn:ases=8,updates=2,rate=100,seed=42,edges=0-1|1-2")
+			return err
+		},
+	}
+	if _, err := mapOrdered(r, len(cells), func(i int) (struct{}, error) {
+		return struct{}{}, cells[i]()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := series.WriteCSV(&b, set); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestSeriesGolden pins the reference series export byte for byte:
+// every sample timestamp comes from a virtual clock (engine FIFO time,
+// summed meters, kernel heap time), never wall clock, so the export
+// must not move between runs or machines.
+func TestSeriesGolden(t *testing.T) {
+	got := seriesRun(t, 1)
+	path := filepath.Join("testdata", "series.golden")
+	if *updateSeries {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (rerun with -update-series): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("series export diverged from golden (len %d vs %d); rerun with -update-series if intended",
+			len(got), len(want))
+	}
+}
+
+// TestSeriesWorkersEquivalence: the reference workload sampled into one
+// shared set must export identically at any worker count — concurrent
+// cells write distinct track prefixes and the window reduction is
+// order-invariant, so parallelism must be invisible.
+func TestSeriesWorkersEquivalence(t *testing.T) {
+	w1 := seriesRun(t, 1)
+	w8 := seriesRun(t, 8)
+	if !bytes.Equal(w1, w8) {
+		t.Fatalf("series export differs between -workers 1 (%d bytes) and -workers 8 (%d bytes)", len(w1), len(w8))
+	}
+	if len(w1) == 0 || bytes.Count(w1, []byte("\n")) < 10 {
+		t.Fatal("series export implausibly small — sampling is not wired")
+	}
+}
+
+// TestLoadSweepBurnAlert is the acceptance gate for the burn-rate
+// pipeline: in the bursty ρ=0.95 cell, the multi-window alert must fire
+// in some windows but not all — the run-total violation count says "the
+// SLO was missed" while the burn series says *when*, and the off-burst
+// windows prove the signal is a transient the total alone cannot show.
+func TestLoadSweepBurnAlert(t *testing.T) {
+	set := series.NewSet(0)
+	c := loadCell{"tls", "bursty", 0.95, "-"}
+	pt, err := loadSweepPoint(nil, set, c, loadSweepN["tls"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Viol == 0 {
+		t.Fatal("bursty rho=0.95 cell produced no violations — the cell no longer stresses the SLO")
+	}
+	pairs := series.BurnPairs(set)
+	if len(pairs) != 1 {
+		t.Fatalf("want 1 burn pair, got %d (%v)", len(pairs), set.Names())
+	}
+	pts := series.BurnRate(pairs[0].Viol, pairs[0].Done, series.DefaultBurnRule)
+	alerts, quiet, active := 0, 0, 0
+	for _, b := range pts {
+		if b.Alert {
+			alerts++
+		}
+		if b.Done > 0 {
+			active++
+			if b.Viol == 0 {
+				quiet++
+			}
+		}
+	}
+	if alerts == 0 {
+		t.Fatal("burn alert never fired in the bursty rho=0.95 cell")
+	}
+	if alerts >= len(pts) {
+		t.Fatalf("burn alert fired in every window (%d of %d) — no localization over the run total", alerts, len(pts))
+	}
+	if quiet == 0 {
+		t.Fatalf("no violation-free window with completions (%d active) — the run-total summary would already tell the story", active)
+	}
+}

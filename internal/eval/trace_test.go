@@ -39,16 +39,16 @@ func traceRun(t *testing.T, workers int) []byte {
 	if _, err := r.Figure3([]int{10}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := epcSweepPoint(tr, 2, 2.0, "clock"); err != nil {
+	if _, err := epcSweepPoint(tr, nil, 2, 2.0, "clock"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := xcallSweepPoint(tr, "tls", &xcall.Config{Batch: 16, SpinBudget: 64}); err != nil {
+	if _, err := xcallSweepPoint(tr, nil, "tls", &xcall.Config{Batch: 16, SpinBudget: 64}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadSweepPoint(tr, loadCell{"tls", "poisson", 0.8, "xcall=16"}, 48); err != nil {
+	if _, err := loadSweepPoint(tr, nil, loadCell{"tls", "poisson", 0.8, "xcall=16"}, 48); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := scaleSweepPoint(tr, "sdn:ases=8,updates=2,rate=100,seed=42,edges=0-1|1-2"); err != nil {
+	if _, err := scaleSweepPoint(tr, nil, "sdn:ases=8,updates=2,rate=100,seed=42,edges=0-1|1-2"); err != nil {
 		t.Fatal(err)
 	}
 	var b bytes.Buffer

@@ -6,6 +6,7 @@ import (
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/obs"
+	"sgxnet/internal/obs/series"
 	"sgxnet/internal/sdnctl"
 	"sgxnet/internal/tlslite"
 	"sgxnet/internal/topo"
@@ -101,7 +102,7 @@ func (r *Runner) XcallSweep() ([]XcallSweepPoint, error) {
 	}
 	pts, err := mapOrdered(r, len(cells), func(i int) (XcallSweepPoint, error) {
 		c := cells[i]
-		return xcallSweepPoint(r.trace, c.app, c.xc)
+		return xcallSweepPoint(r.trace, r.series, c.app, c.xc)
 	})
 	if err != nil {
 		return nil, err
@@ -122,8 +123,31 @@ func (r *Runner) XcallSweep() ([]XcallSweepPoint, error) {
 	return pts, nil
 }
 
-// xcallSweepPoint measures one cell on the named application rig.
-func xcallSweepPoint(tr *obs.Trace, app string, xc *xcall.Config) (XcallSweepPoint, error) {
+// meterClock is a late-bound virtual clock for rigs whose only time
+// source is their meters: the ring is configured with Now before the
+// engine exists, then the rig binds the engine's meter(s) once built.
+// Unbound it reads zero; bound, it reads the summed accumulated cycles
+// — a pure function of the rig's serial metered work, so ring samples
+// stamped from it are deterministic.
+type meterClock struct{ meters []*core.Meter }
+
+func (mc *meterClock) bind(ms ...*core.Meter) { mc.meters = ms }
+
+func (mc *meterClock) Now() uint64 {
+	var c uint64
+	for _, m := range mc.meters {
+		c += m.Snapshot().Cycles()
+	}
+	return c
+}
+
+// xcallSweepPoint measures one cell on the named application rig. With
+// a series set attached, switchless tor and tls cells sample their ring
+// occupancy, drain batches, and park/wake counters per window on a
+// meter-derived clock (the quote rig's engine is owned by the sdnctl
+// deployment, which exposes no meter handle before the run — it stays
+// unsampled).
+func xcallSweepPoint(tr *obs.Trace, set *series.Set, app string, xc *xcall.Config) (XcallSweepPoint, error) {
 	pt := XcallSweepPoint{App: app, Mode: "sync"}
 	if xc != nil {
 		pt.Mode = "switchless"
@@ -134,13 +158,17 @@ func xcallSweepPoint(tr *obs.Trace, app string, xc *xcall.Config) (XcallSweepPoi
 	if xc != nil {
 		track += fmt.Sprintf("/batch=%d/spin=%d", pt.Batch, pt.Spin)
 	}
+	mc := &meterClock{}
+	if sm := set.Sampler(track); sm != nil && xc != nil && app != "quote" {
+		xc.Series = &xcall.SeriesConfig{Probe: sm, Clock: mc.Now}
+	}
 
 	var err error
 	switch app {
 	case "tor":
-		err = xcallTorRig(tr, track, xc, &pt)
+		err = xcallTorRig(tr, track, xc, mc, &pt)
 	case "tls":
-		err = xcallTLSRig(tr, track, xc, &pt)
+		err = xcallTLSRig(tr, track, xc, mc, &pt)
 	case "quote":
 		err = xcallQuoteRig(tr, track, xc, &pt)
 	default:
@@ -165,7 +193,7 @@ func xcallSweepPoint(tr *obs.Trace, app string, xc *xcall.Config) (XcallSweepPoi
 // tallies the relay-side crossings (steady-state relaying only: the
 // circuit handshake and attestation stay synchronous by design and are
 // excluded by a meter reset).
-func xcallTorRig(tr *obs.Trace, track string, xc *xcall.Config, pt *XcallSweepPoint) error {
+func xcallTorRig(tr *obs.Trace, track string, xc *xcall.Config, mc *meterClock, pt *XcallSweepPoint) error {
 	tn, err := tor.Deploy(tor.NetworkConfig{
 		Mode: tor.ModeSGXORs, Authorities: 1, Relays: 2, Exits: 1, Seed: 1, Xcall: xc,
 	})
@@ -194,6 +222,7 @@ func xcallTorRig(tr *obs.Trace, track string, xc *xcall.Config, pt *XcallSweepPo
 		o.Enclave().Meter().Reset()
 		meters = append(meters, o.Enclave().Meter())
 	}
+	mc.bind(meters...)
 	sp := tr.Begin(track, "xcall.relay", meters...)
 	for i := 0; i < xcallTorGets; i++ {
 		resp, err := circ.Get(tor.WebHost+"|"+tor.WebService, []byte(fmt.Sprintf("req-%d", i)))
@@ -217,7 +246,7 @@ func xcallTorRig(tr *obs.Trace, track string, xc *xcall.Config, pt *XcallSweepPo
 }
 
 // xcallTLSRig seals and opens records through an enclave-hosted codec.
-func xcallTLSRig(tr *obs.Trace, track string, xc *xcall.Config, pt *XcallSweepPoint) error {
+func xcallTLSRig(tr *obs.Trace, track string, xc *xcall.Config, mc *meterClock, pt *XcallSweepPoint) error {
 	plat, err := core.NewPlatform("xcall-tls", core.PlatformConfig{Seed: []byte(track)})
 	if err != nil {
 		return err
@@ -240,6 +269,7 @@ func xcallTLSRig(tr *obs.Trace, track string, xc *xcall.Config, pt *XcallSweepPo
 		return err
 	}
 	eng.Meter().Reset()
+	mc.bind(eng.Meter())
 	sp := tr.Begin(track, "xcall.records", eng.Meter())
 	for seq := uint64(0); seq < xcallTLSRecords; seq++ {
 		rec, err := eng.Seal(tlslite.ClientToServer, seq, []byte("application data"))

@@ -42,6 +42,17 @@ func DurationCycles(d time.Duration) uint64 {
 	return uint64(d) // time.Duration is nanoseconds; 1 cycle = 1 ns
 }
 
+// Sampler is the windowed-metrics hook: the kernel samples its event
+// throughput and backlog at every pop when one is attached. The
+// interface is structural (internal/obs/series.Sampler satisfies it)
+// so des keeps its zero-dependency footprint.
+type Sampler interface {
+	// CountAt adds n occurrences of the named counter at virtual time t.
+	CountAt(name string, t, n uint64)
+	// GaugeAt records level v of the named gauge at virtual time t.
+	GaugeAt(name string, t, v uint64)
+}
+
 // Handler consumes one event. Implementations dispatch on arg — an
 // opaque word the scheduler passes through, typically a packed
 // (operation index, stage) pair — so a million-event simulation needs
@@ -100,6 +111,8 @@ type Kernel struct {
 
 	bg      bool // background drainer active
 	stopped bool // drainer told to exit
+
+	series Sampler // windowed-metrics hook; nil = off
 }
 
 // New creates an empty kernel with the clock at zero.
@@ -107,6 +120,26 @@ func New() *Kernel {
 	k := &Kernel{}
 	k.cond = sync.NewCond(&k.mu)
 	return k
+}
+
+// SetSeries attaches (or, with nil, detaches) the windowed-metrics
+// sampler. Every event pop then records one "des.events" count and a
+// "des.backlog" gauge (heap length after the pop) at the event's
+// virtual timestamp — the events-per-window and backlog-growth series
+// the scale sweep exports. Attach before scheduling; sampling is a
+// per-pop branch when detached.
+func (k *Kernel) SetSeries(s Sampler) {
+	k.mu.Lock()
+	k.series = s
+	k.mu.Unlock()
+}
+
+// samplePop records one pop at time t. Caller holds k.mu.
+func (k *Kernel) samplePop(t uint64) {
+	if k.series != nil {
+		k.series.CountAt("des.events", t, 1)
+		k.series.GaugeAt("des.backlog", t, uint64(len(k.heap)))
+	}
 }
 
 // Now returns the virtual clock: the timestamp of the most recently
@@ -182,6 +215,7 @@ func (k *Kernel) Step() bool {
 	e := k.pop()
 	k.now = e.at
 	k.processed++
+	k.samplePop(e.at)
 	k.mu.Unlock()
 	e.h.OnEvent(e.at, e.arg)
 	return true
@@ -213,6 +247,7 @@ func (k *Kernel) RunUntil(t uint64) Stats {
 		e := k.pop()
 		k.now = e.at
 		k.processed++
+		k.samplePop(e.at)
 		k.mu.Unlock()
 		e.h.OnEvent(e.at, e.arg)
 	}
@@ -250,6 +285,7 @@ func (k *Kernel) Background() (stop func()) {
 			e := k.pop()
 			k.now = e.at
 			k.processed++
+			k.samplePop(e.at)
 			k.mu.Unlock()
 			e.h.OnEvent(e.at, e.arg)
 		}

@@ -1,0 +1,53 @@
+package obs
+
+import "testing"
+
+func TestStrictRegistryFlagsUnknownKinds(t *testing.T) {
+	r := NewRegistry()
+	r.SetStrict(true)
+	r.Observe("sgx.instr.EENTER", 1) // registered at init
+	r.Observe("bogus.kind", 2)       // never registered
+	r.Add("load.sweep.requests", 3)  // Add is exempt: not a probe kind
+
+	if got := r.UnknownKinds(); len(got) != 1 || got[0] != "bogus.kind" {
+		t.Fatalf("UnknownKinds = %v, want [bogus.kind]", got)
+	}
+	// Strictness audits, it does not filter: the counter still counts.
+	if r.Get("bogus.kind") != 2 {
+		t.Fatalf("strict mode dropped the observation: %d", r.Get("bogus.kind"))
+	}
+}
+
+func TestStrictOffRecordsNothing(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("bogus.kind", 1)
+	if got := r.UnknownKinds(); len(got) != 0 {
+		t.Fatalf("non-strict registry recorded unknowns: %v", got)
+	}
+}
+
+func TestRegisterKindCollisionPanics(t *testing.T) {
+	RegisterKind("test.kind.collision", "the original doc")
+	RegisterKind("test.kind.collision", "the original doc") // same doc: idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different doc did not panic")
+		}
+	}()
+	RegisterKind("test.kind.collision", "a different doc")
+}
+
+func TestKindDocResolvesCoreKinds(t *testing.T) {
+	if doc, ok := KindDoc("pager.fault"); !ok || doc == "" {
+		t.Fatalf("pager.fault undocumented (ok=%v doc=%q)", ok, doc)
+	}
+	kinds := KnownKinds()
+	if len(kinds) < 20 {
+		t.Fatalf("only %d registered kinds — core init registration shrank", len(kinds))
+	}
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Fatalf("KnownKinds not sorted at %d: %q >= %q", i, kinds[i-1], kinds[i])
+		}
+	}
+}

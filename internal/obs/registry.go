@@ -20,6 +20,12 @@ import (
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*atomic.Uint64
+
+	// strict mode (opt-in, see SetStrict): probe kinds arriving via
+	// Observe that are not in the kind registry are remembered here.
+	strict    atomic.Bool
+	unknownMu sync.Mutex
+	unknown   map[string]bool
 }
 
 // NewRegistry returns an empty registry.
@@ -27,8 +33,48 @@ func NewRegistry() *Registry {
 	return &Registry{counters: make(map[string]*atomic.Uint64)}
 }
 
+// SetStrict toggles probe-kind auditing: with it on, every kind that
+// reaches Observe without a RegisterKind doc string is recorded and
+// reported by UnknownKinds. The counter is still bumped — strictness is
+// an audit, not a filter — and Add is exempt (it carries derived
+// summary counters and event.* names, not probe kinds). Off by default
+// so the hot probe path stays one atomic load.
+func (r *Registry) SetStrict(on bool) { r.strict.Store(on) }
+
+// UnknownKinds returns the sorted probe kinds Observe saw while strict
+// that were never registered with RegisterKind. Empty means every fired
+// kind is documented.
+func (r *Registry) UnknownKinds() []string {
+	if r == nil {
+		return nil
+	}
+	r.unknownMu.Lock()
+	out := make([]string, 0, len(r.unknown))
+	for k := range r.unknown {
+		out = append(out, k)
+	}
+	r.unknownMu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
 // Observe implements core.Probe: it adds n to the counter named kind.
-func (r *Registry) Observe(kind string, n uint64) { r.Add(kind, n) }
+func (r *Registry) Observe(kind string, n uint64) {
+	if r == nil {
+		return
+	}
+	if r.strict.Load() {
+		if _, ok := KindDoc(kind); !ok {
+			r.unknownMu.Lock()
+			if r.unknown == nil {
+				r.unknown = make(map[string]bool)
+			}
+			r.unknown[kind] = true
+			r.unknownMu.Unlock()
+		}
+	}
+	r.Add(kind, n)
+}
 
 // Add adds n to the named counter, creating it at zero first if needed.
 // Safe for concurrent use; the common case is a read-locked map lookup

@@ -1,0 +1,221 @@
+package series
+
+import (
+	"sort"
+	"strings"
+)
+
+// Analysis over windowed series: the SRE-style reductions the run-total
+// tables cannot express. A run that ends with "434 of 600 requests
+// violated the SLO" says nothing about *when* — a burn-rate series over
+// trailing windows shows the violation mass concentrated in bursts, and
+// a monotone-backlog test over trailing windows separates "slow but
+// stable" from "growing without bound".
+
+// BurnRule is a multi-window SLO burn-rate alert in the classic
+// 2-of-{short, long} shape: the alert fires in a window only when the
+// burn rate — violation fraction over the trailing window span, divided
+// by the error budget — reaches Threshold over BOTH the short and the
+// long trailing spans. The short window makes the alert fast, the long
+// window keeps one bad window from paging; requiring both is what
+// filters transients that self-heal from sustained budget burn.
+type BurnRule struct {
+	Budget    float64 // allowed violation fraction (1 − objective), e.g. 0.05
+	Threshold float64 // burn multiple that fires, e.g. 4 (burning 4× budget)
+	Short     int     // short trailing span, windows (the "5m" leg)
+	Long      int     // long trailing span, windows (the "1h" leg)
+}
+
+// DefaultBurnRule mirrors the sweep's SLO shape: 95% of requests within
+// SLO (budget 5%), alert at 4× burn over 3-window short and 24-window
+// long trailing spans (≈13 ms / ≈100 ms of modeled time at the default
+// window).
+var DefaultBurnRule = BurnRule{Budget: 0.05, Threshold: 4, Short: 3, Long: 24}
+
+// BurnPoint is one window's burn evaluation.
+type BurnPoint struct {
+	Window uint64  // window index
+	Done   uint64  // requests finished in this window
+	Viol   uint64  // SLO violations in this window
+	Short  float64 // burn multiple over the trailing Short windows
+	Long   float64 // burn multiple over the trailing Long windows
+	Alert  bool    // both legs at or above Threshold
+}
+
+// BurnRate evaluates the rule over the viol/done counter pair for every
+// window in done's observed range (empty windows participate: the
+// trailing spans slide over them and the burn decays). Windows where
+// the trailing done count is zero burn at 0.
+func BurnRate(viol, done *Series, rule BurnRule) []BurnPoint {
+	if done == nil || done.Len() == 0 || rule.Budget <= 0 {
+		return nil
+	}
+	wins := done.Windows()
+	lo, hi := wins[0], wins[len(wins)-1]
+	n := int(hi - lo + 1)
+	doneAt := make([]uint64, n)
+	violAt := make([]uint64, n)
+	for _, w := range wins {
+		doneAt[w-lo] = done.Value(w)
+	}
+	if viol != nil {
+		for _, w := range viol.Windows() {
+			if w >= lo && w <= hi {
+				violAt[w-lo] = viol.Value(w)
+			}
+		}
+	}
+	// Prefix sums so each trailing-span query is O(1).
+	doneCum := make([]uint64, n+1)
+	violCum := make([]uint64, n+1)
+	for i := 0; i < n; i++ {
+		doneCum[i+1] = doneCum[i] + doneAt[i]
+		violCum[i+1] = violCum[i] + violAt[i]
+	}
+	trailing := func(cum []uint64, i, span int) uint64 {
+		from := i + 1 - span
+		if from < 0 {
+			from = 0
+		}
+		return cum[i+1] - cum[from]
+	}
+	burn := func(i, span int) float64 {
+		d := trailing(doneCum, i, span)
+		if d == 0 {
+			return 0
+		}
+		v := trailing(violCum, i, span)
+		return float64(v) / float64(d) / rule.Budget
+	}
+	out := make([]BurnPoint, n)
+	for i := 0; i < n; i++ {
+		p := BurnPoint{
+			Window: lo + uint64(i),
+			Done:   doneAt[i],
+			Viol:   violAt[i],
+			Short:  burn(i, rule.Short),
+			Long:   burn(i, rule.Long),
+		}
+		p.Alert = p.Short >= rule.Threshold && p.Long >= rule.Threshold
+		out[i] = p
+	}
+	return out
+}
+
+// Growth is the verdict of the unbounded-growth test on one series.
+type Growth struct {
+	Series   string
+	Windows  int    // trailing observed windows examined
+	First    uint64 // value at the span's first window
+	Last     uint64 // value at the span's last window
+	Monotone bool   // non-decreasing across the whole span, strictly up overall
+}
+
+// DetectGrowth runs the monotone-backlog test: over the last `trailing`
+// observed windows (all of them if fewer), does the series never
+// decrease and end strictly above where it started? A queue that passes
+// is growing without bound on the run's evidence — the ρ ≥ 1 signature
+// — where a merely-loaded queue oscillates. Needs at least three
+// observed windows to say anything.
+func DetectGrowth(s *Series, trailing int) (Growth, bool) {
+	g := Growth{Series: s.Name}
+	wins := s.Windows()
+	if trailing > 0 && len(wins) > trailing {
+		wins = wins[len(wins)-trailing:]
+	}
+	g.Windows = len(wins)
+	if len(wins) < 3 {
+		return g, false
+	}
+	g.First = s.Value(wins[0])
+	g.Last = s.Value(wins[len(wins)-1])
+	g.Monotone = g.Last > g.First
+	prev := g.First
+	for _, w := range wins[1:] {
+		v := s.Value(w)
+		if v < prev {
+			g.Monotone = false
+			break
+		}
+		prev = v
+	}
+	return g, g.Monotone
+}
+
+// Mover is one series' largest window-to-window move.
+type Mover struct {
+	Series string
+	Kind   Kind
+	Window uint64 // window index where the move landed
+	From   uint64 // previous observed window's value
+	To     uint64 // this window's value
+	Delta  uint64 // |To − From|
+}
+
+// TopMovers ranks every series by its largest absolute value change
+// between consecutive *observed* windows — the "what shifted inside
+// this run" view. Ties break by name so the ranking is deterministic.
+func TopMovers(set *Set, n int) []Mover {
+	var movers []Mover
+	for _, name := range set.Names() {
+		sr := set.Get(name)
+		wins := sr.Windows()
+		if len(wins) < 2 {
+			continue
+		}
+		best := Mover{Series: name, Kind: sr.Kind}
+		prev := sr.Value(wins[0])
+		for _, w := range wins[1:] {
+			v := sr.Value(w)
+			d := v - prev
+			if v < prev {
+				d = prev - v
+			}
+			if d > best.Delta {
+				best = Mover{Series: name, Kind: sr.Kind, Window: w, From: prev, To: v, Delta: d}
+			}
+			prev = v
+		}
+		if best.Delta > 0 {
+			movers = append(movers, best)
+		}
+	}
+	sort.Slice(movers, func(i, j int) bool {
+		if movers[i].Delta != movers[j].Delta {
+			return movers[i].Delta > movers[j].Delta
+		}
+		return movers[i].Series < movers[j].Series
+	})
+	if n > 0 && len(movers) > n {
+		movers = movers[:n]
+	}
+	return movers
+}
+
+// BurnPair is one SLO stream: its violation and completion counters.
+type BurnPair struct {
+	Stream string // "<track>/<stream>" — the pair's identity
+	Viol   *Series
+	Done   *Series
+}
+
+// BurnPairs finds the (viol, done) counter pairs the load instruments
+// emit — names ending in "/viol.<stream>" matched to a sibling
+// "/done.<stream>" — so the analyzer can evaluate burn rules without
+// being told the stream layout. Pairs are returned in name order.
+func BurnPairs(set *Set) []BurnPair {
+	var out []BurnPair
+	for _, name := range set.Names() {
+		i := strings.LastIndex(name, "/viol.")
+		if i < 0 {
+			continue
+		}
+		stream := name[i+len("/viol."):]
+		done := set.Get(name[:i] + "/done." + stream)
+		if done == nil {
+			continue
+		}
+		out = append(out, BurnPair{Stream: name[:i] + "/" + stream, Viol: set.Get(name), Done: done})
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package series
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exporters. Both formats are canonical: rows sorted by (series name,
+// window index), values as exact decimal integers, so a byte comparison
+// of two exports is a semantic comparison of two sets — the property
+// the -series golden and workers-equivalence gates rely on.
+
+// csvHeader is the first line of the CSV format; the window width rides
+// in it so ReadCSV can reconstruct the set exactly.
+const csvHeader = "# sgxnet-series v1 window="
+
+// WriteCSV writes the set as canonical CSV:
+//
+//	# sgxnet-series v1 window=4194304
+//	series,kind,window,start_cycles,value
+//	load-sweep/.../arrivals.tls,counter,3,12582912,17
+func WriteCSV(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s%d\n", csvHeader, s.Window())
+	fmt.Fprintln(bw, "series,kind,window,start_cycles,value")
+	for _, name := range s.Names() {
+		sr := s.Get(name)
+		for _, win := range sr.Windows() {
+			fmt.Fprintf(bw, "%s,%s,%d,%d,%d\n", name, sr.Kind, win, win*s.Window(), sr.Value(win))
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a WriteCSV export back into a Set (the sgxnet-trace
+// -series analyzer's input path).
+func ReadCSV(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("series: empty input")
+	}
+	head := sc.Text()
+	if !strings.HasPrefix(head, csvHeader) {
+		return nil, fmt.Errorf("series: not a sgxnet-series CSV (header %q)", head)
+	}
+	window, err := strconv.ParseUint(strings.TrimSpace(head[len(csvHeader):]), 10, 64)
+	if err != nil || window == 0 {
+		return nil, fmt.Errorf("series: bad window in header %q", head)
+	}
+	set := NewSet(window)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "series,") {
+			continue
+		}
+		// Series names may not contain commas (track names never do);
+		// split from the right so the fixed tail fields stay unambiguous.
+		f := strings.Split(text, ",")
+		if len(f) < 5 {
+			return nil, fmt.Errorf("series: line %d: want 5 fields, got %d", line, len(f))
+		}
+		name := strings.Join(f[:len(f)-4], ",")
+		kind, ok := parseKind(f[len(f)-4])
+		if !ok {
+			return nil, fmt.Errorf("series: line %d: unknown kind %q", line, f[len(f)-4])
+		}
+		win, err := strconv.ParseUint(f[len(f)-3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("series: line %d: bad window: %v", line, err)
+		}
+		val, err := strconv.ParseUint(f[len(f)-1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("series: line %d: bad value: %v", line, err)
+		}
+		// Reconstructed gauges lose their intra-window timestamps; stamp
+		// the window start so re-merging reads stay deterministic.
+		set.get(name, kind).observe(win, win*window, val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// sanitizeMetricName maps a series name onto the OpenMetrics charset
+// [a-zA-Z0-9_:], collapsing everything else to '_'.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteOpenMetrics writes the set as OpenMetrics text: one family per
+// series (counters get the conventional _total suffix), one sample per
+// window labeled with its start cycle, timestamped in virtual seconds
+// (cycles / 1e9 at the 1 GHz modeled clock). Rendered families are
+// sorted by sanitized name so the export is canonical.
+func WriteOpenMetrics(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	names := s.Names()
+	type fam struct {
+		metric string
+		sr     *Series
+	}
+	fams := make([]fam, 0, len(names))
+	for _, name := range names {
+		sr := s.Get(name)
+		metric := sanitizeMetricName(name)
+		if sr.Kind != Gauge {
+			metric += "_total"
+		}
+		fams = append(fams, fam{metric, sr})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].metric < fams[j].metric })
+	for _, f := range fams {
+		typ := "gauge"
+		if f.sr.Kind != Gauge {
+			typ = "counter"
+		}
+		fmt.Fprintf(bw, "# HELP %s windowed series %s (window=%d cycles, kind=%s)\n", f.metric, f.sr.Name, s.Window(), f.sr.Kind)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.metric, typ)
+		for _, win := range f.sr.Windows() {
+			start := win * s.Window()
+			fmt.Fprintf(bw, "%s{window_start_cycles=\"%d\"} %d %s\n",
+				f.metric, start, f.sr.Value(win), formatVirtualSeconds(start))
+		}
+	}
+	fmt.Fprintln(bw, "# EOF")
+	return bw.Flush()
+}
+
+// formatVirtualSeconds renders a cycle timestamp as seconds at the
+// 1 cycle = 1 ns exchange rate, with exactly nine fractional digits so
+// the rendering is locale- and float-free.
+func formatVirtualSeconds(cycles uint64) string {
+	return fmt.Sprintf("%d.%09d", cycles/1_000_000_000, cycles%1_000_000_000)
+}

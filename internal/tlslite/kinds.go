@@ -1,0 +1,12 @@
+package tlslite
+
+import "sgxnet/internal/obs"
+
+// Register the record layer's probe kinds so a strict obs.Registry can
+// vouch that every kind this package fires is documented (obs never
+// imports tlslite, so the import is cycle-free).
+func init() {
+	obs.RegisterKind(KindRecordSeal, "record sealed for the wire")
+	obs.RegisterKind(KindRecordOpen, "record authenticated and decrypted")
+	obs.RegisterKind(KindRecordReject, "record failed authentication or framing")
+}

@@ -1,0 +1,21 @@
+package xcall
+
+import "sgxnet/internal/obs"
+
+// Register the ring's probe kinds so a strict obs.Registry can vouch
+// that every kind this package fires is documented. xcall may import
+// obs for this (obs never imports xcall); core cannot, which is why the
+// Probe interface lives there and the docs live here.
+func init() {
+	for _, k := range []struct{ name, doc string }{
+		{KindCall, "switchless submission: descriptor enqueued on the ring"},
+		{KindDrain, "descriptor picked up by the worker (per drained batch)"},
+		{KindFallback, "submission fell back to a synchronous crossing"},
+		{KindFallbackFull, "fallback cause: ring full or descriptor oversize"},
+		{KindFallbackParked, "fallback cause: worker parked; call doubles as doorbell"},
+		{KindPark, "worker parked after its spin budget expired"},
+		{KindWake, "worker resumed on a doorbell fallback"},
+	} {
+		obs.RegisterKind(k.name, k.doc)
+	}
+}

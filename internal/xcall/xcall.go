@@ -46,6 +46,14 @@ type Config struct {
 	// for the lot. Default 16.
 	Batch int
 
+	// Series, when non-nil, samples the ring's behavior into a windowed
+	// time-series set: occupancy after each enqueue, drain batch sizes,
+	// spin polls versus parks. Because it rides the Config, every ring a
+	// deployment derives from this config (tor ORs, the record engine,
+	// the quoting enclave) reports through the same probe with no extra
+	// plumbing. Zero-cost when nil.
+	Series *SeriesConfig
+
 	// SpinBudget is how many polls the in-enclave worker spends
 	// assembling one batch before giving up: each submission while the
 	// worker is hot costs it one poll, and when the count since the
@@ -56,6 +64,25 @@ type Config struct {
 	// instructions); a tight one converts the tail of every burst into
 	// one fallback. Default 4×Batch.
 	SpinBudget int
+}
+
+// SeriesConfig wires a ring to the windowed-metrics layer. The ring
+// itself has no virtual clock — submissions happen "when the caller
+// calls" — so the caller supplies one: the load engine's request clock,
+// or a closure reading the enclave meter's accumulated cycles. Probe is
+// structurally core.SampleProbe (internal/obs/series.Sampler satisfies
+// it); Clock may be nil, which pins every sample to window zero.
+type SeriesConfig struct {
+	Probe core.SampleProbe
+	Clock func() uint64
+}
+
+// now reads the wired clock (0 without one).
+func (sc *SeriesConfig) now() uint64 {
+	if sc.Clock == nil {
+		return 0
+	}
+	return sc.Clock()
 }
 
 // WithDefaults resolves zero fields to the documented defaults and
@@ -154,17 +181,26 @@ func newRing(cfg Config) ring {
 func (r *ring) submit(d Descriptor) (v verdict, drained int, parked bool, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	sc := r.cfg.Series
 	if r.parked {
 		r.parked = false
 		r.polls = 0
 		r.stats.Fallbacks++
 		r.stats.ParkedFallbacks++
 		r.stats.Wakes++
+		if sc != nil {
+			now := sc.now()
+			sc.Probe.CountAt("xcall.fallbacks", now, 1)
+			sc.Probe.CountAt("xcall.wakes", now, 1)
+		}
 		return verdictFallbackParked, 0, false, nil
 	}
 	if r.occ >= r.cfg.Capacity || !fits(d) {
 		r.stats.Fallbacks++
 		r.stats.FullFallbacks++
+		if sc != nil {
+			sc.Probe.CountAt("xcall.fallbacks", sc.now(), 1)
+		}
 		return verdictFallbackFull, 0, false, nil
 	}
 	r.frame = AppendDescriptor(r.frame, d)
@@ -173,6 +209,11 @@ func (r *ring) submit(d Descriptor) (v verdict, drained int, parked bool, err er
 	r.stats.Calls++
 	if r.occ > r.stats.MaxOccupancy {
 		r.stats.MaxOccupancy = r.occ
+	}
+	if sc != nil {
+		now := sc.now()
+		sc.Probe.CountAt("xcall.calls", now, 1)
+		sc.Probe.GaugeAt("xcall.occ", now, uint64(r.occ))
 	}
 	if r.occ >= r.cfg.Batch {
 		drained, err = r.drainLocked()
@@ -184,6 +225,9 @@ func (r *ring) submit(d Descriptor) (v verdict, drained int, parked bool, err er
 		drained, err = r.drainLocked()
 		r.parked = true
 		r.stats.Parks++
+		if sc != nil {
+			sc.Probe.CountAt("xcall.parks", sc.now(), 1)
+		}
 		return verdictEnqueue, drained, true, err
 	}
 	return verdictEnqueue, 0, false, nil
@@ -204,6 +248,11 @@ func (r *ring) drainLocked() (int, error) {
 	r.polls = 0
 	r.stats.Drains++
 	r.stats.Drained += uint64(n)
+	if sc := r.cfg.Series; sc != nil {
+		now := sc.now()
+		sc.Probe.CountAt("xcall.drains", now, 1)
+		sc.Probe.CountAt("xcall.drained", now, uint64(n))
+	}
 	return n, nil
 }
 
@@ -220,6 +269,9 @@ func (r *ring) flush() (drained int, wasHot bool, err error) {
 		r.parked = true
 		r.stats.Parks++
 		wasHot = true
+		if sc := r.cfg.Series; sc != nil {
+			sc.Probe.CountAt("xcall.parks", sc.now(), 1)
+		}
 	}
 	return drained, wasHot, err
 }
