@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands directly.
 
-.PHONY: build test race bench bench-smoke bench-gate tables trace series
+.PHONY: build test race bench bench-smoke bench-gate tables trace series ratls
 
 build:
 	go build ./...
@@ -21,13 +21,13 @@ bench:
 bench-smoke:
 	go test -run '^$$' -bench=. -benchtime=1x ./...
 
-# bench-gate runs the four headline benchmarks fresh and fails if any
+# bench-gate runs the five headline benchmarks fresh and fails if any
 # regressed past 25% of the committed BENCH_baseline.json. Run on the
 # same class of machine as the baseline; CI uses a wider threshold
-# because two of the four metrics are wall-clock.
+# because two of the five metrics are wall-clock.
 bench-gate:
 	go run ./cmd/benchjson -out /tmp/bench-gate.json -benchtime 1x \
-		-pattern 'FullSweep|ScaleSweep|LoadSweep|XcallSweep'
+		-pattern 'FullSweep|ScaleSweep|LoadSweep|XcallSweep|RATLSSweep'
 	go run ./cmd/benchjson -gate -results /tmp/bench-gate.json
 
 tables:
@@ -39,6 +39,13 @@ tables:
 trace:
 	go run ./cmd/sgxnet-tables -trace out.trace > /dev/null
 	go run ./cmd/sgxnet-trace -check -min-coverage 0.95 out.trace
+
+# ratls runs the attested-channel acceptance gates: the -ratls-sweep
+# golden transcript, its workers-1-vs-8 byte-equivalence, and the
+# sharded verification cache's concurrency property under -race.
+ratls:
+	go test ./cmd/sgxnet-tables -run 'TestGolden$$|TestRATLSSweepWorkersEquivalence' -v
+	go test -race ./internal/ratls -v
 
 # series records the windowed time-series export of the load sweep and
 # runs the analyzer over it: top movers, monotone-growth gauges, and the

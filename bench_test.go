@@ -307,6 +307,34 @@ func BenchmarkScaleSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkRATLSSweep regenerates the attested-channel sweep at worker
+// counts 1 and GOMAXPROCS, and reports the worst warm/cold amortization
+// ratio across the 10^6-client cells as a custom metric — the number the
+// 5% acceptance bar bounds, so BENCH_results.json tracks how much
+// headroom the verification cache keeps.
+func BenchmarkRATLSSweep(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := eval.NewRunner(workers)
+			b.ReportAllocs()
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				pts, err := r.RATLSSweep()
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst = 0
+				for _, p := range pts {
+					if p.Clients == 1_000_000 && p.WarmOverCold > worst {
+						worst = p.WarmOverCold
+					}
+				}
+			}
+			b.ReportMetric(worst, "worst-warm/cold-ratio")
+		})
+	}
+}
+
 // BenchmarkAblationBatching sweeps enclave I/O batch sizes.
 func BenchmarkAblationBatching(b *testing.B) {
 	b.ReportAllocs()

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 )
@@ -15,11 +16,12 @@ import (
 // decides how the "current" file was produced (make bench locally, a
 // fresh benchjson run in CI).
 //
-// Two of the four gated metrics (FullSweep wall time, ScaleSweep
-// events/sec) are wall-clock and move with the machine; the other two
-// (LoadSweep worst p999/p50, XcallSweep min speedup) are ratios of
-// virtual-cycle quantities and are deterministic. CI therefore runs the
-// gate with a wider -max-regress than the local default.
+// Two of the five gated metrics (FullSweep wall time, ScaleSweep
+// events/sec) are wall-clock and move with the machine; the other three
+// (LoadSweep worst p999/p50, XcallSweep min speedup, RATLSSweep worst
+// warm/cold ratio) are ratios of virtual-cycle quantities and are
+// deterministic. CI therefore runs the gate with a wider -max-regress
+// than the local default.
 
 // gateMetric names one headline metric: which benchmark it lives on,
 // which reported unit carries it (empty = ns/op), and which direction is
@@ -42,6 +44,8 @@ var gateMetrics = []gateMetric{
 		"load-sweep worst tail amplification"},
 	{"BenchmarkXcallSweep/workers=1", "min-speedup-x", true,
 		"xcall min batching speedup"},
+	{"BenchmarkRATLSSweep/workers=1", "worst-warm/cold-ratio", false,
+		"ratls worst warm/cold amortization"},
 }
 
 // gateRow is one evaluated metric.
@@ -76,6 +80,15 @@ func metricValue(r *Result, metric string) (float64, bool) {
 	return v, ok
 }
 
+// usable reports whether a metric value can anchor a comparison: finite
+// and non-zero. A benchmark that recorded exactly 0, NaN, or ±Inf did
+// not measure anything — NaN in particular poisons the regression ratio
+// into comparisons that are all false, which would read as "pass".
+// Such a value must fail the gate exactly like a vanished metric.
+func usable(v float64) bool {
+	return v != 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // evalGate compares every gated metric. A metric missing from either
 // report fails the gate: a silently vanished benchmark must not read as
 // "no regression".
@@ -94,10 +107,10 @@ func evalGate(baseline, current *Report, maxRegress float64) []gateRow {
 			bv, bok := metricValue(br, g.metric)
 			cv, cok := metricValue(cr, g.metric)
 			switch {
-			case !bok || bv == 0:
-				row.missing, row.failed = "baseline: no value", true
-			case !cok:
-				row.missing, row.failed = "current: no value", true
+			case !bok || !usable(bv):
+				row.missing, row.failed = "baseline: no usable value", true
+			case !cok || !usable(cv):
+				row.missing, row.failed = "current: no usable value", true
 			default:
 				row.base, row.cur = bv, cv
 				if g.higherBetter {

@@ -28,6 +28,7 @@ var goldenCases = []struct {
 	{"xcall-sweep", options{xcallSweep: true}},
 	{"load-sweep", options{loadSweep: true}},
 	{"scale-sweep", options{scaleSweep: true}},
+	{"ratls-sweep", options{ratlsSweep: true}},
 }
 
 func golden(name string) string { return filepath.Join("testdata", name+".golden") }
@@ -73,7 +74,7 @@ func TestGolden(t *testing.T) {
 			golden("all"), b.Bytes(), all)
 	}
 	var concat []byte
-	for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "ablations", "epc-sweep", "xcall-sweep", "load-sweep", "scale-sweep"} {
+	for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "ablations", "epc-sweep", "xcall-sweep", "load-sweep", "scale-sweep", "ratls-sweep"} {
 		sec, err := os.ReadFile(golden(name))
 		if err != nil {
 			t.Fatalf("missing golden (rerun with -update): %v", err)
@@ -197,6 +198,29 @@ func TestScaleSweepWorkersEquivalence(t *testing.T) {
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
 		t.Errorf("-scale-sweep at -workers 8 diverges from -workers 1\nserial:\n%s\nparallel:\n%s",
+			serial.Bytes(), parallel.Bytes())
+	}
+}
+
+// TestRATLSSweepWorkersEquivalence is the acceptance gate for the
+// attested-channel sweep: its transcript — cold/warm verification
+// splits, hit rates, per-connection cycle costs — must be
+// byte-identical at -workers 1 and -workers 8. Each cell additionally
+// fans its warm phase across goroutines internally, so this also
+// checks that in-cell concurrency cannot show through the tallies.
+func TestRATLSSweepWorkersEquivalence(t *testing.T) {
+	if *update {
+		t.Skip("goldens being rewritten")
+	}
+	var serial, parallel bytes.Buffer
+	if err := emit(&serial, options{ratlsSweep: true, workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := emit(&parallel, options{ratlsSweep: true, workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("-ratls-sweep at -workers 8 diverges from -workers 1\nserial:\n%s\nparallel:\n%s",
 			serial.Bytes(), parallel.Bytes())
 	}
 }

@@ -305,7 +305,7 @@ func TestForgedQuoteRejected(t *testing.T) {
 	wrongPriv := f.hostC.Platform() // has its own key, inaccessible anyway
 	_ = wrongPriv
 	signer, _ := core.NewSigner()
-	q.Sig = sgxcrypto.Sign(core.NewMeter(), signerPriv(t, signer), q.signedBody())
+	q.Sig = sgxcrypto.Sign(core.NewMeter(), signerPriv(t, signer), q.SignedBody())
 	if q.Verify(core.NewMeter()) {
 		t.Fatal("quote signed by non-platform key verified")
 	}

@@ -59,7 +59,12 @@ type Quote struct {
 	Sig         []byte
 }
 
-func (q *Quote) signedBody() []byte {
+// SignedBody is the byte string the platform attestation key signs:
+// a version label, the reported identity, the user data, and the
+// platform public key. Exported for the RA-TLS minter and verifier
+// (internal/ratls), which play the quoting enclave's and challenger's
+// roles for certificate-embedded quotes.
+func (q *Quote) SignedBody() []byte {
 	var buf bytes.Buffer
 	buf.WriteString("sgxnet-quote-v1")
 	buf.Write(q.Identity.MREnclave[:])
@@ -81,7 +86,7 @@ func (q *Quote) Verify(m *core.Meter) bool {
 	if len(q.PlatformPub) != ed25519.PublicKeySize {
 		return false
 	}
-	return sgxcrypto.Verify(m, ed25519.PublicKey(q.PlatformPub), q.signedBody(), q.Sig)
+	return sgxcrypto.Verify(m, ed25519.PublicKey(q.PlatformPub), q.SignedBody(), q.Sig)
 }
 
 // Policy is the challenger's acceptance policy for a quote.

@@ -78,7 +78,7 @@ func quotingProgram() *core.Program {
 					Data:        rep.Data,
 					PlatformPub: env.Enclave().Platform().AttestationPublicKey(),
 				}
-				q.Sig = sgxcrypto.Sign(env.Meter(), priv, q.signedBody())
+				q.Sig = sgxcrypto.Sign(env.Meter(), priv, q.SignedBody())
 				// Mutual intra-attestation: report back at the requester.
 				repQ := env.EReport(core.TargetInfo{Measurement: rep.MREnclave}, rep.Data)
 				resp, err := encode(msgQuoteResp{Quote: q, ReportQ: repQ.Marshal()})

@@ -147,11 +147,16 @@ func TestSessionExpiry(t *testing.T) {
 	}
 
 	f.cState.Expire(cid)
+	beforeN, beforeSGX := m.Normal(), m.SGX()
 	if _, err := f.cState.Seal(m, cid, []byte("x")); !errors.Is(err, ErrSessionExpired) {
 		t.Fatalf("err = %v, want ErrSessionExpired", err)
 	}
-	if m.Normal() < core.CostSessionReestablish {
-		t.Fatal("expiry detection not charged")
+	// Validate-then-charge: detecting the expired session is a failed
+	// validation and must cost zero — the re-establishment cost belongs
+	// to the Reestablish driver, not the detection site.
+	if m.Normal() != beforeN || m.SGX() != beforeSGX {
+		t.Fatalf("expiry detection charged the meter (normal %d→%d, sgx %d→%d); failed validation must cost zero",
+			beforeN, m.Normal(), beforeSGX, m.SGX())
 	}
 	// Evicted: further use reports no session, and the table is clean for
 	// the re-attestation that must follow.
@@ -160,6 +165,102 @@ func TestSessionExpiry(t *testing.T) {
 	}
 	if _, ok := f.cState.Session(cid); ok {
 		t.Fatal("expired session still listed")
+	}
+}
+
+// recordingInvalidator captures which peers had their cached
+// verification state purged, and when relative to the session table.
+type recordingInvalidator struct {
+	calls       []uint32
+	staleAtCall []bool // whether the stale session still existed when invalidated
+	st          *ChallengerState
+}
+
+func (r *recordingInvalidator) InvalidatePeer(connID uint32) {
+	r.calls = append(r.calls, connID)
+	_, ok := r.st.Session(connID)
+	r.staleAtCall = append(r.staleAtCall, ok)
+}
+
+// TestReestablishInvalidatesAndCharges: the re-establishment driver must
+// (a) purge the stale session and the invalidator's cached state before
+// dialing, and (b) carry the CostSessionReestablish charge that the
+// detection site no longer pays.
+func TestReestablishInvalidatesAndCharges(t *testing.T) {
+	f := newFixture(t, Policy{})
+	f.cState.SetTTL(time.Hour)
+	l := serveAttest(t, f)
+	dial := func() (*netsim.Conn, error) { return f.hostC.Dial("target-host", "app") }
+	pol := RetryPolicy{Attempts: 2, RecvTimeout: 200 * time.Millisecond,
+		Backoff: time.Millisecond, BackoffMax: time.Millisecond}
+	conn, cid, _, _, err := ChallengeRetry(f.challenger, f.cShim, f.cState, dial, true, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	f.cState.Expire(cid)
+	l.Close() // next dial fails: isolates the driver's own charge
+
+	inv := &recordingInvalidator{st: f.cState}
+	f.challenger.Meter().Reset()
+	deadDial := func() (*netsim.Conn, error) { return f.hostC.Dial("no-such-host", "app") }
+	if _, _, _, _, err := Reestablish(nil, "", f.challenger, f.cShim, f.cState,
+		cid, inv, deadDial, true, RetryPolicy{Attempts: 1, RecvTimeout: 20 * time.Millisecond,
+			Backoff: time.Millisecond, BackoffMax: time.Millisecond}); err == nil {
+		t.Fatal("re-establishment against a dead host succeeded")
+	}
+	if got, want := f.challenger.Meter().Normal(), uint64(core.CostSessionReestablish); got != want {
+		t.Fatalf("re-establishment charged %d, want exactly CostSessionReestablish (%d)", got, want)
+	}
+	if len(inv.calls) != 1 || inv.calls[0] != cid {
+		t.Fatalf("invalidator calls = %v, want exactly [%d]", inv.calls, cid)
+	}
+	if _, ok := f.cState.Session(cid); ok {
+		t.Fatal("stale session survived re-establishment")
+	}
+}
+
+// TestRevokedThenRetriedPeerAlwaysRejected is the satellite property
+// test: however many times an attested-then-revoked peer is retried
+// through the re-establishment path, it must always be rejected with a
+// policy error — no cached session or quote state may survive
+// Reestablish to satisfy a fresh challenge.
+func TestRevokedThenRetriedPeerAlwaysRejected(t *testing.T) {
+	f := newFixture(t, Policy{})
+	f.cState.SetTTL(time.Hour)
+	l := serveAttest(t, f)
+	defer l.Close()
+	dial := func() (*netsim.Conn, error) { return f.hostC.Dial("target-host", "app") }
+	pol := RetryPolicy{Attempts: 2, RecvTimeout: 200 * time.Millisecond,
+		Backoff: time.Millisecond, BackoffMax: time.Millisecond}
+	var revoked core.Measurement
+	revoked[0] = 0xba
+	for i := 0; i < 5; i++ {
+		f.cState.SetPolicy(Policy{}) // peer currently trusted
+		conn, cid, id, _, err := ChallengeRetry(f.challenger, f.cShim, f.cState, dial, true, pol)
+		if err != nil {
+			t.Fatalf("iteration %d: establishment failed: %v", i, err)
+		}
+		if id.MREnclave != f.target.MREnclave() {
+			t.Fatalf("iteration %d: wrong peer attested", i)
+		}
+		// Revoke the peer's build, then expire its session: the next use
+		// must force a full re-attestation, which the new policy rejects.
+		f.cState.SetPolicy(Policy{AllowedEnclaves: []core.Measurement{revoked}})
+		f.cState.Expire(cid)
+		if _, err := f.cState.Seal(core.NewMeter(), cid, []byte("x")); !errors.Is(err, ErrSessionExpired) {
+			t.Fatalf("iteration %d: expired session still usable: %v", i, err)
+		}
+		_, _, _, _, rerr := Reestablish(nil, "", f.challenger, f.cShim, f.cState,
+			cid, nil, dial, true, pol)
+		var pe *ErrPolicy
+		if rerr == nil || !errors.As(rerr, &pe) {
+			t.Fatalf("iteration %d: revoked-then-retried peer not policy-rejected: %v", i, rerr)
+		}
+		if f.cState.Count() != 0 {
+			t.Fatalf("iteration %d: revoked peer holds %d sessions", i, f.cState.Count())
+		}
+		conn.Close()
 	}
 }
 

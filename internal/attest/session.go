@@ -92,10 +92,13 @@ func (t *SessionTable) Session(connID uint32) (*Session, bool) {
 	return s, ok
 }
 
-// live fetches a session for use, evicting it with ErrSessionExpired —
-// and charging the re-establishment detection cost — when it has aged
-// out.
-func (t *SessionTable) live(m *core.Meter, connID uint32) (*Session, error) {
+// live fetches a session for use, evicting it with ErrSessionExpired
+// when it has aged out. Detection itself charges nothing: a rejected use
+// is a validation failure, and the validate-then-charge rule (DESIGN.md
+// §8) says failed validation costs zero. The re-establishment cost
+// (core.CostSessionReestablish) is charged by the driver that actually
+// schedules the re-attestation — Reestablish in retry.go.
+func (t *SessionTable) live(connID uint32) (*Session, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s, ok := t.m[connID]
@@ -104,9 +107,6 @@ func (t *SessionTable) live(m *core.Meter, connID uint32) (*Session, error) {
 	}
 	if s.expired() {
 		delete(t.m, connID)
-		if m != nil {
-			m.ChargeNormal(core.CostSessionReestablish)
-		}
 		return nil, ErrSessionExpired
 	}
 	return s, nil
@@ -129,7 +129,7 @@ func (t *SessionTable) Count() int {
 // Seal encrypts a message on the session's secure channel, charging the
 // enclave meter.
 func (t *SessionTable) Seal(m *core.Meter, connID uint32, msg []byte) ([]byte, error) {
-	s, err := t.live(m, connID)
+	s, err := t.live(connID)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +141,7 @@ func (t *SessionTable) Seal(m *core.Meter, connID uint32, msg []byte) ([]byte, e
 
 // Open authenticates and decrypts a channel message.
 func (t *SessionTable) Open(m *core.Meter, connID uint32, sealed []byte) ([]byte, error) {
-	s, err := t.live(m, connID)
+	s, err := t.live(connID)
 	if err != nil {
 		return nil, err
 	}

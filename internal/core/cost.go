@@ -213,6 +213,15 @@ const (
 	// expiry check, teardown) — the attestation itself then charges its
 	// own Table 1 costs again.
 	CostSessionReestablish = 20_000
+
+	// --- Attested channels (RA-TLS, DESIGN.md §15) ---
+
+	// CostQuoteCacheLookup is one warm hit in the RA-TLS verification
+	// cache: the certificate digest, the shard lock, and the map probe
+	// that stand in for a full quote re-verification. Two signature
+	// checks (~2×CostSigVerify) collapse to this, which is what makes N
+	// connections from the same attested peer cost ~1 verification.
+	CostQuoteCacheLookup = 6_000
 )
 
 // MTUBytes is the packet size used throughout the I/O evaluation.

@@ -6,6 +6,7 @@ import (
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/obs"
+	"sgxnet/internal/ratls"
 	"sgxnet/internal/xcall"
 )
 
@@ -35,6 +36,9 @@ func TestProbeKindAudit(t *testing.T) {
 	if _, err := loadSweepPoint(tr, nil, loadCell{"tls", "poisson", 0.8, "xcall=16"}, 48); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := ratlsSweepPoint(tr, nil, "sgx", 2, 1_000); err != nil {
+		t.Fatal(err)
+	}
 
 	if unknown := reg.UnknownKinds(); len(unknown) > 0 {
 		t.Fatalf("probe kinds fired without a RegisterKind doc string:\n  %s",
@@ -45,6 +49,7 @@ func TestProbeKindAudit(t *testing.T) {
 	// families it claims to cover.
 	for _, family := range []string{
 		core.KindEENTER, core.KindPagerFault, xcall.KindCall, "record.seal",
+		ratls.KindVerifyCold, ratls.KindVerifyWarm,
 	} {
 		if reg.Get(family) == 0 {
 			t.Errorf("audit workload never fired %s — coverage shrank, the empty unknown set proves nothing about that family", family)

@@ -22,7 +22,9 @@ var updateTrace = flag.Bool("update-trace", false, "rewrite the golden trace fil
 // (so the per-request RecordSpanAt spans, the load.calibrate record,
 // and the load.sweep.* counters are pinned), and one small
 // discrete-event scale sweep point (so the scale.native/scale.sgx
-// spans and scale.sweep.* counters are pinned) — into a fresh trace and
+// spans and scale.sweep.* counters are pinned), and one small SGX-mode
+// RA-TLS sweep point (so the ratls.cold/ratls.warm spans and the
+// ratls.verify.* probe kinds are pinned) — into a fresh trace and
 // returns its JSONL export. The registry is installed as the default
 // probe so the metrics track exercises the instruction-kind counters.
 func traceRun(t *testing.T, workers int) []byte {
@@ -49,6 +51,9 @@ func traceRun(t *testing.T, workers int) []byte {
 		t.Fatal(err)
 	}
 	if _, err := scaleSweepPoint(tr, nil, "sdn:ases=8,updates=2,rate=100,seed=42,edges=0-1|1-2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ratlsSweepPoint(tr, nil, "sgx", 2, 1_000); err != nil {
 		t.Fatal(err)
 	}
 	var b bytes.Buffer

@@ -1,0 +1,142 @@
+package ratls
+
+import (
+	"fmt"
+	"sync"
+
+	"sgxnet/internal/attest"
+	"sgxnet/internal/core"
+	"sgxnet/internal/sgxcrypto"
+)
+
+// The minter is this package's stand-in for the quoting enclave in the
+// certificate flow: an architectural enclave that verifies a subject's
+// EREPORT (intra-attestation) and signs the resulting quote with the
+// platform attestation key. It lives on the same platform as the
+// subject, exactly like attest's quoting agent — but it speaks ECALLs,
+// not the netsim message protocol, because certificate minting happens
+// at launch time on the subject's own machine, not over a network.
+
+// minterVersion participates in the minter's measurement.
+const minterVersion = "1.0"
+
+// minterProgram builds the minter enclave program.
+func minterProgram() *core.Program {
+	return &core.Program{
+		Name:    "ratls-minter",
+		Version: minterVersion,
+		Handlers: map[string]core.Handler{
+			// sign verifies a subject report and returns
+			// platformPub(32) ‖ quoteSig(64). arg: report(177).
+			"sign": func(env *core.Env, arg []byte) ([]byte, error) {
+				rep, ok := core.UnmarshalReport(arg)
+				if !ok {
+					return nil, fmt.Errorf("ratls: minter: malformed report")
+				}
+				if !env.VerifyReport(rep) { // EGETKEY + MAC check
+					return nil, fmt.Errorf("ratls: minter: report verification failed")
+				}
+				priv, err := env.AttestationKey()
+				if err != nil {
+					return nil, err
+				}
+				q := attest.Quote{
+					Identity: attest.Identity{
+						MREnclave: rep.MREnclave,
+						MRSigner:  rep.MRSigner,
+						Debug:     rep.Attributes.Debug,
+					},
+					Data:        rep.Data,
+					PlatformPub: env.Enclave().Platform().AttestationPublicKey(),
+				}
+				q.Sig = sgxcrypto.Sign(env.Meter(), priv, q.SignedBody())
+				out := make([]byte, 0, 32+64)
+				out = append(out, q.PlatformPub...)
+				out = append(out, q.Sig...)
+				return out, nil
+			},
+		},
+	}
+}
+
+var (
+	minterMROnce sync.Once
+	minterMR     core.Measurement
+)
+
+// MinterMeasurement is the well-known minter identity subjects direct
+// their REPORTs at (mirroring attest.QuotingMeasurement).
+func MinterMeasurement() core.Measurement {
+	minterMROnce.Do(func() {
+		minterMR = core.MeasureProgram(minterProgram())
+	})
+	return minterMR
+}
+
+// Minter is a launched minter enclave.
+type Minter struct {
+	Enclave *core.Enclave
+}
+
+// NewMinter launches the minter on a platform. The signer must be the
+// platform's architectural signer — the attestation key is hardware-
+// restricted to architectural enclaves.
+func NewMinter(plat *core.Platform, archSigner *core.Signer) (*Minter, error) {
+	enc, err := plat.Launch(minterProgram(), archSigner)
+	if err != nil {
+		return nil, fmt.Errorf("ratls: launching minter: %w", err)
+	}
+	if !enc.Attrs().Architectural {
+		enc.Destroy()
+		return nil, fmt.Errorf("ratls: minter not architectural — platform ArchSigner mismatch")
+	}
+	return &Minter{Enclave: enc}, nil
+}
+
+// Close destroys the minter enclave.
+func (mt *Minter) Close() { mt.Enclave.Destroy() }
+
+// Mint produces a certificate for a subject enclave on the minter's
+// platform. The subject's program must carry AddSubjectHandlers. The
+// subject's ECALL charges land on the subject meter, the quote signing
+// on the minter meter — the same split the quoting agent produces.
+// Returns the parsed certificate and its wire bytes.
+func (mt *Minter) Mint(subject *core.Enclave) (*Certificate, []byte, error) {
+	out, err := subject.Call(HandlerReport, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ratls: subject report: %w", err)
+	}
+	if len(out) != reportRespLen {
+		return nil, nil, fmt.Errorf("ratls: subject returned %d bytes, want %d", len(out), reportRespLen)
+	}
+	repRaw := out[:177]
+	pub := append([]byte(nil), out[177:209]...)
+	var inst [16]byte
+	copy(inst[:], out[209:225])
+	pop := append([]byte(nil), out[225:289]...)
+
+	sigOut, err := mt.Enclave.Call("sign", repRaw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(sigOut) != 32+64 {
+		return nil, nil, fmt.Errorf("ratls: minter returned %d bytes, want %d", len(sigOut), 32+64)
+	}
+	rep, _ := core.UnmarshalReport(repRaw)
+	cert := &Certificate{
+		Pub:        pub,
+		InstanceID: inst,
+		Quote: attest.Quote{
+			Identity: attest.Identity{
+				MREnclave: rep.MREnclave,
+				MRSigner:  rep.MRSigner,
+				Debug:     rep.Attributes.Debug,
+			},
+			Data:        rep.Data,
+			PlatformPub: append([]byte(nil), sigOut[:32]...),
+			Sig:         append([]byte(nil), sigOut[32:]...),
+		},
+		PopSig: pop,
+	}
+	return cert, cert.Marshal(), nil
+}

@@ -8,6 +8,7 @@ import (
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
 	"sgxnet/internal/obs"
+	"sgxnet/internal/ratls"
 	"sgxnet/internal/topo"
 	"sgxnet/internal/xcall"
 )
@@ -51,6 +52,12 @@ type RunReport struct {
 	// QuoteXcall is the quoting agent's ring tally when quote serving
 	// runs switchlessly; zero otherwise.
 	QuoteXcall xcall.Stats
+
+	// RATLSCold and RATLSWarm split controller-certificate verifications
+	// when admission runs over attested channels (RunSGXRATLS): one cold
+	// full verification, warm cache hits for every other AS. Zero when
+	// the run does not use RA-TLS.
+	RATLSCold, RATLSWarm uint64
 }
 
 // ASLocalAvg averages the AS-local tallies.
@@ -78,7 +85,7 @@ func RunSGX(t *topo.Topology) (*RunReport, error) {
 // live controller and AS-local controllers to extra — for predicate
 // registration/verification (§3.1) or dynamic reconfiguration.
 func RunSGXWithPredicates(t *topo.Topology, extra func(ctl *Controller, locals []*ASLocal) error) (*RunReport, error) {
-	return runSGX(t, nil, nil, extra, nil, "", nil)
+	return runSGX(t, nil, nil, extra, nil, "", nil, nil)
 }
 
 // RunSGXTraced is RunSGX with spans on the given track: a "setup" span
@@ -90,7 +97,7 @@ func RunSGXWithPredicates(t *topo.Topology, extra func(ctl *Controller, locals [
 // host gets its own "<track>/qe" track. The track must be private to
 // this run.
 func RunSGXTraced(t *topo.Topology, tr *obs.Trace, track string) (*RunReport, error) {
-	return runSGX(t, nil, nil, nil, tr, track, nil)
+	return runSGX(t, nil, nil, nil, tr, track, nil, nil)
 }
 
 // RunSGXSwitchlessQuotes is RunSGX with the controller host's quoting
@@ -100,7 +107,7 @@ func RunSGXTraced(t *topo.Topology, tr *obs.Trace, track string) (*RunReport, er
 // the amortized crossing tally the -xcall-sweep ablation compares
 // against the synchronous 17-SGX(U)-per-quote baseline.
 func RunSGXSwitchlessQuotes(t *topo.Topology, xc xcall.Config) (*RunReport, error) {
-	return runSGX(t, nil, nil, nil, nil, "", &xc)
+	return runSGX(t, nil, nil, nil, nil, "", &xc, nil)
 }
 
 // RunSGXFaulted runs the SGX deployment under a fault schedule with every
@@ -108,7 +115,7 @@ func RunSGXSwitchlessQuotes(t *topo.Topology, xc xcall.Config) (*RunReport, erro
 // receives time out, and lost channels are re-attested. The schedule is
 // installed before the attestation phase, so it disturbs the entire run.
 func RunSGXFaulted(t *topo.Topology, fs *netsim.FaultSchedule, pol attest.RetryPolicy) (*RunReport, error) {
-	return runSGX(t, fs, &pol, nil, nil, "", nil)
+	return runSGX(t, fs, &pol, nil, nil, "", nil, nil)
 }
 
 // RunSGXFaultedTraced is RunSGXFaulted with tracing: in addition to the
@@ -123,10 +130,10 @@ func RunSGXFaultedTraced(t *topo.Topology, fs *netsim.FaultSchedule, pol attest.
 		rec.RecordSchedule(fs.Seed(), fs.String())
 		fs.SetObserver(rec)
 	}
-	return runSGX(t, fs, &pol, nil, tr, track, nil)
+	return runSGX(t, fs, &pol, nil, tr, track, nil, nil)
 }
 
-func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy, extra func(ctl *Controller, locals []*ASLocal) error, tr *obs.Trace, track string, xc *xcall.Config) (*RunReport, error) {
+func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy, extra func(ctl *Controller, locals []*ASLocal) error, tr *obs.Trace, track string, xc *xcall.Config, ra *ratlsConfig) (*RunReport, error) {
 	n := t.N()
 	net := netsim.New()
 	arch, err := core.NewSigner()
@@ -163,13 +170,35 @@ func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy,
 	if err != nil {
 		return nil, err
 	}
-	ctl, err := LaunchController(ctlHost, signer, n)
+	launch, ctlMR := LaunchController, ControllerMeasurement(n)
+	if ra != nil {
+		launch, ctlMR = LaunchControllerRATLS, ControllerMeasurementRATLS(n)
+	}
+	ctl, err := launch(ctlHost, signer, n)
 	if err != nil {
 		return nil, err
 	}
 	defer ctl.Close()
 
-	ctlMR := ControllerMeasurement(n)
+	// RATLS deployments mint the controller's certificate at launch and
+	// share one verification cache across every AS — the per-connection
+	// amortization the report's RATLSCold/RATLSWarm split shows.
+	var raCert []byte
+	var raVerifier *ratls.Verifier
+	if ra != nil {
+		mt, err := ratls.NewMinter(ctlHost.Platform(), arch)
+		if err != nil {
+			return nil, err
+		}
+		_, raCert, err = mt.Mint(ctl.Enclave)
+		if err != nil {
+			return nil, err
+		}
+		raVerifier = ratls.NewVerifier(attest.Policy{
+			AllowedEnclaves: []core.Measurement{ctlMR},
+			RejectDebug:     true,
+		}, ra.shards())
+	}
 	policies := PoliciesFromTopology(t)
 	locals := make([]*ASLocal, n)
 	for a := 0; a < n; a++ {
@@ -198,14 +227,28 @@ func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy,
 		net.SetFaults(fs)
 	}
 
-	// Attestation phase (one remote attestation per AS controller).
+	// Attestation phase (one remote attestation per AS controller). In
+	// the RATLS deployment each connection is gated by certificate
+	// admission first — cold for the first AS, warm for the rest — and
+	// every AS's re-establishment hook purges the certificate's cached
+	// verdict, so a lost channel forces a full re-verification.
 	attestations := 0
 	for _, asl := range locals {
+		if raVerifier != nil {
+			if _, err := raVerifier.Admit(asl.Enclave.Meter(), raCert, "controller"); err != nil {
+				return nil, fmt.Errorf("sdnctl: AS%d refused controller certificate: %w", asl.ASN, err)
+			}
+			asl.SetInvalidator(certInvalidator{v: raVerifier, digest: ratls.Digest(raCert)})
+		}
 		if err := asl.Connect("controller"); err != nil {
 			return nil, err
 		}
 		attestations++
 		tr.Event(track, "attest.established", map[string]string{"as": fmt.Sprint(asl.ASN)})
+	}
+	var raStats ratls.Stats
+	if raVerifier != nil {
+		raStats = raVerifier.Stats()
 	}
 	// The attestation phase is the quoting enclave's whole workload:
 	// drain its rings at the boundary and capture its serving tally.
@@ -265,6 +308,8 @@ func runSGX(t *topo.Topology, fs *netsim.FaultSchedule, pol *attest.RetryPolicy,
 		Installed:    make(map[int][]bgp.Route, n),
 		QuoteServing: quoteServing,
 		QuoteXcall:   quoteXcall,
+		RATLSCold:    raStats.Cold,
+		RATLSWarm:    raStats.Warm,
 	}
 	for _, asl := range locals {
 		rep.ASLocal = append(rep.ASLocal, asl.Enclave.Meter().Snapshot())

@@ -106,12 +106,26 @@ func (c *Cipher) XORKeyStreamCTR(m *core.Meter, iv [16]byte, dst, src []byte) {
 
 // MAC computes a metered HMAC-SHA256 tag.
 func MAC(m *core.Meter, key, data []byte) [32]byte {
-	m.ChargeNormal(core.CostHMAC + uint64(len(data))*core.CostSHA256PerByte)
+	ChargeMAC(m, len(data))
+	return RawMAC(key, data)
+}
+
+// RawMAC computes an HMAC-SHA256 tag without charging any meter. It is
+// the verify-side primitive for validate-then-charge paths: compute the
+// candidate tag unmetered, compare, and charge ChargeMAC only when the
+// message authenticates — so an attacker feeding garbage cannot make
+// the victim's cost tables show work that was never trusted.
+func RawMAC(key, data []byte) [32]byte {
 	h := hmac.New(sha256.New, key)
 	h.Write(data)
 	var out [32]byte
 	copy(out[:], h.Sum(nil))
 	return out
+}
+
+// ChargeMAC charges the metered cost of one HMAC-SHA256 over n bytes.
+func ChargeMAC(m *core.Meter, n int) {
+	m.ChargeNormal(core.CostHMAC + uint64(n)*core.CostSHA256PerByte)
 }
 
 // A Channel is an authenticated bidirectional secure channel keyed by a DH
@@ -181,15 +195,21 @@ func (ch *Channel) Open(m *core.Meter, sealed []byte) ([]byte, error) {
 // OpenAppend verifies sealed and appends the plaintext to dst,
 // returning the extended slice. sealed must not alias dst. The reused
 // dst buffer makes layer-by-layer unwrapping allocation-free.
+//
+// Rejected messages charge nothing: the MAC check runs unmetered and
+// the metered MAC cost lands only once the tag authenticates
+// (validate-then-charge) — so the successful-path tally is unchanged
+// while a flood of forgeries costs the victim zero modeled work.
 func (ch *Channel) OpenAppend(m *core.Meter, dst, sealed []byte) ([]byte, error) {
 	if len(sealed) < Overhead {
 		return nil, ErrChannelAuth
 	}
 	body, tag := sealed[:len(sealed)-32], sealed[len(sealed)-32:]
-	want := MAC(m, ch.macKey[:], body)
+	want := RawMAC(ch.macKey[:], body)
 	if !hmac.Equal(want[:], tag) {
 		return nil, ErrChannelAuth
 	}
+	ChargeMAC(m, len(body))
 	var iv [16]byte
 	copy(iv[:], body[:16])
 	off := len(dst)

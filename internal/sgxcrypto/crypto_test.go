@@ -304,3 +304,54 @@ func TestMACDistinctKeys(t *testing.T) {
 		t.Fatal("MAC not deterministic")
 	}
 }
+
+// TestChannelRejectChargesZero is the validate-then-charge regression
+// test for Channel.OpenAppend: a message that fails authentication (or
+// framing) must leave the meter untouched — only an authenticated open
+// pays the metered MAC and cipher costs.
+func TestChannelRejectChargesZero(t *testing.T) {
+	setup := core.NewMeter()
+	var secret [32]byte
+	secret[0] = 7
+	ch, err := NewChannel(setup, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := ch.Seal(setup, []byte("trusted payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flip := func(i int) []byte {
+		bad := append([]byte(nil), sealed...)
+		bad[i] ^= 1
+		return bad
+	}
+	for name, bad := range map[string][]byte{
+		"short":     sealed[:Overhead-1],
+		"tag flip":  flip(len(sealed) - 1),
+		"body flip": flip(Overhead),
+	} {
+		m := core.NewMeter()
+		if _, err := ch.Open(m, bad); err != ErrChannelAuth {
+			t.Fatalf("%s: err = %v, want ErrChannelAuth", name, err)
+		}
+		if m.Normal() != 0 || m.SGX() != 0 {
+			t.Fatalf("%s: rejected open charged normal=%d sgx=%d, want zero", name, m.Normal(), m.SGX())
+		}
+	}
+
+	// The successful path still pays the full metered bill: one MAC over
+	// the body plus the CTR pass over the ciphertext.
+	m := core.NewMeter()
+	out, err := ch.Open(m, sealed)
+	if err != nil || string(out) != "trusted payload" {
+		t.Fatalf("genuine open failed: %q %v", out, err)
+	}
+	body := len(sealed) - 32
+	want := core.CostHMAC + uint64(body)*core.CostSHA256PerByte +
+		uint64(len(sealed)-Overhead)*core.CostAESBlockPerByte
+	if m.Normal() != want {
+		t.Fatalf("genuine open charged %d, want %d", m.Normal(), want)
+	}
+}

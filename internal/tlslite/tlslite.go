@@ -155,6 +155,11 @@ func (c *Codec) sealAppend(m *core.Meter, dst []byte, dir Direction, seq uint64,
 // Open verifies and decrypts a record, returning the payload. The caller
 // supplies the expected sequence number; a mismatch (replayed or dropped
 // record) fails authentication.
+//
+// Rejected records charge nothing (validate-then-charge): every framing
+// check runs before any metered work, the MAC is computed unmetered,
+// and the metered MAC cost is charged only once the tag authenticates.
+// The successful-path tally is byte-for-byte what it always was.
 func (c *Codec) Open(m *core.Meter, dir Direction, seq uint64, raw []byte) ([]byte, error) {
 	if len(raw) < recordHeader+32 {
 		c.observe(KindRecordReject)
@@ -165,17 +170,18 @@ func (c *Codec) Open(m *core.Meter, dir Direction, seq uint64, raw []byte) ([]by
 		c.observe(KindRecordReject)
 		return nil, ErrRecord
 	}
-	encKey, macKey := c.dirKeys(dir)
-	want := sgxcrypto.MAC(m, macKey, body)
-	if !hmac.Equal(want[:], tag) {
-		c.observe(KindRecordReject)
-		return nil, ErrRecord
-	}
 	n := binary.BigEndian.Uint32(body[9:13])
 	if int(n) != len(body)-recordHeader {
 		c.observe(KindRecordReject)
 		return nil, ErrRecord
 	}
+	encKey, macKey := c.dirKeys(dir)
+	want := sgxcrypto.RawMAC(macKey, body)
+	if !hmac.Equal(want[:], tag) {
+		c.observe(KindRecordReject)
+		return nil, ErrRecord
+	}
+	sgxcrypto.ChargeMAC(m, len(body))
 	cipher, err := sgxcrypto.NewAES(m, encKey)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/obs"
 )
 
 func connect(t *testing.T) (*netsim.Conn, *netsim.Conn) {
@@ -258,5 +259,64 @@ func TestHandshakeCorruptionDetected(t *testing.T) {
 	serr := <-done
 	if cerr == nil && serr == nil {
 		t.Fatal("tampered handshake completed on both sides")
+	}
+}
+
+// TestOpenRejectChargesZero is the validate-then-charge regression test
+// for Codec.Open: every reject path — truncation, direction/sequence
+// mismatch, length-field corruption, MAC failure — must charge nothing
+// and fire only the reject probe; the successful path pays exactly the
+// metered MAC plus cipher bill it always did.
+func TestOpenRejectChargesZero(t *testing.T) {
+	var keys Keys
+	for i := range keys.MacC2S {
+		keys.MacC2S[i] = byte(i)
+	}
+	c := NewCodec(keys)
+	reg := obs.NewRegistry()
+	c.Probe = reg
+
+	setup := core.NewMeter()
+	payload := []byte("application data")
+	rec, err := c.Seal(setup, ClientToServer, 3, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := func(i int) []byte {
+		bad := append([]byte(nil), rec...)
+		bad[i] ^= 1
+		return bad
+	}
+	rejects := 0
+	check := func(name string, dir Direction, seq uint64, raw []byte) {
+		t.Helper()
+		m := core.NewMeter()
+		if _, err := c.Open(m, dir, seq, raw); err != ErrRecord {
+			t.Fatalf("%s: err = %v, want ErrRecord", name, err)
+		}
+		if m.Normal() != 0 || m.SGX() != 0 {
+			t.Fatalf("%s: rejected open charged normal=%d sgx=%d, want zero", name, m.Normal(), m.SGX())
+		}
+		rejects++
+		if got := reg.Get(KindRecordReject); got != uint64(rejects) {
+			t.Fatalf("%s: reject probe count %d, want %d", name, got, rejects)
+		}
+	}
+	check("truncated", ClientToServer, 3, rec[:recordHeader+31])
+	check("wrong direction", ServerToClient, 3, rec)
+	check("wrong sequence", ClientToServer, 4, rec)
+	check("length field", ClientToServer, 3, flip(9))
+	check("mac flip", ClientToServer, 3, flip(len(rec)-1))
+
+	m := core.NewMeter()
+	out, err := c.Open(m, ClientToServer, 3, rec)
+	if err != nil || string(out) != string(payload) {
+		t.Fatalf("genuine open failed: %q %v", out, err)
+	}
+	body := len(rec) - 32
+	want := core.CostHMAC + uint64(body)*core.CostSHA256PerByte +
+		core.CostAESKeySchedule + uint64(len(payload))*core.CostAESBlockPerByte
+	if m.Normal() != want {
+		t.Fatalf("genuine open charged %d, want %d", m.Normal(), want)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sgxnet/internal/attest"
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/ratls"
 	"sgxnet/internal/sgxcrypto"
 	"sgxnet/internal/xcall"
 )
@@ -336,6 +337,7 @@ type OR struct {
 	nextLink uint32
 	listener *netsim.Listener
 	meter    *core.Meter
+	cert     []byte // minted RA-TLS certificate (RATLS deployments)
 }
 
 // ExitPolicy restricts which destination services an exit serves. An
@@ -375,6 +377,31 @@ func (o *OR) Descriptor() Descriptor {
 		Guard: o.Guard, Policy: o.state.policy}
 }
 
+// MintCertificate obtains the OR's RA-TLS certificate from a minter on
+// its own platform and stores it for admission. Requires an enclave
+// built with ORConfig.RATLS.
+func (o *OR) MintCertificate(mt *ratls.Minter) error {
+	if o.enclave == nil {
+		return fmt.Errorf("tor: %s is not SGX-enabled", o.Name)
+	}
+	_, raw, err := mt.Mint(o.enclave)
+	if err != nil {
+		return fmt.Errorf("tor: minting certificate for %s: %w", o.Name, err)
+	}
+	o.mu.Lock()
+	o.cert = raw
+	o.mu.Unlock()
+	return nil
+}
+
+// Certificate returns the OR's minted RA-TLS certificate (nil before
+// MintCertificate).
+func (o *OR) Certificate() []byte {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.cert
+}
+
 // SnoopLog exposes a malicious exit's recordings (attack verification).
 func (o *OR) SnoopLog() []string { return o.state.SnoopLog() }
 
@@ -402,6 +429,13 @@ type ORConfig struct {
 	// switchless rings sized by this config instead of one
 	// EENTER/EEXIT (in) and one EEXIT/ERESUME (out) per cell.
 	Xcall *xcall.Config
+	// RATLS, when set with SGX, builds the OR image with the RA-TLS
+	// certificate handlers (internal/ratls) so the relay can present an
+	// attested certificate at admission instead of running the full
+	// interactive attestation per authority. The handlers participate in
+	// the measurement: RA-TLS deployments whitelist
+	// HonestORMeasurementRATLS, not HonestORMeasurement.
+	RATLS bool
 }
 
 // LaunchOR starts an onion router on the host.
@@ -458,6 +492,17 @@ func ORProgram(state *orState, tstate *attest.TargetState, version string, behv 
 	return prog
 }
 
+// ORProgramRATLS is the measured OR build of an RA-TLS deployment: the
+// base image plus the certificate-request handlers. A distinct image
+// means a distinct MRENCLAVE, so the community registry publishes both
+// measurements and a deployment whitelists the one matching its
+// admission mode.
+func ORProgramRATLS(state *orState, tstate *attest.TargetState, version string, behv Behavior) *core.Program {
+	prog := ORProgram(state, tstate, version, behv)
+	ratls.AddSubjectHandlers(prog)
+	return prog
+}
+
 // HonestORMeasurement is the whitelisted OR identity of the default
 // release.
 func HonestORMeasurement() core.Measurement {
@@ -468,6 +513,18 @@ func HonestORMeasurement() core.Measurement {
 // release version (what a community registry publishes per release).
 func ORMeasurementForVersion(version string) core.Measurement {
 	return core.MeasureProgram(ORProgram(newORState("m", false, BehaveHonest), attest.NewTargetState(), version, BehaveHonest))
+}
+
+// HonestORMeasurementRATLS is the whitelisted RA-TLS OR identity of the
+// default release.
+func HonestORMeasurementRATLS() core.Measurement {
+	return ORMeasurementForVersionRATLS(ORVersion)
+}
+
+// ORMeasurementForVersionRATLS computes the honest RA-TLS OR identity
+// of a given release version.
+func ORMeasurementForVersionRATLS(version string) core.Measurement {
+	return core.MeasureProgram(ORProgramRATLS(newORState("m", false, BehaveHonest), attest.NewTargetState(), version, BehaveHonest))
 }
 
 func (o *OR) launchEnclave(cfg ORConfig) error {
@@ -482,7 +539,12 @@ func (o *OR) launchEnclave(cfg ORConfig) error {
 		version += "-modified"
 	}
 	o.tstate = attest.NewTargetState()
-	prog := ORProgram(o.state, o.tstate, version, cfg.Behavior)
+	var prog *core.Program
+	if cfg.RATLS {
+		prog = ORProgramRATLS(o.state, o.tstate, version, cfg.Behavior)
+	} else {
+		prog = ORProgram(o.state, o.tstate, version, cfg.Behavior)
+	}
 	signer := cfg.Signer
 	if signer == nil {
 		var err error

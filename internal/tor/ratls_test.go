@@ -1,0 +1,132 @@
+package tor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sgxnet/internal/core"
+	"sgxnet/internal/ratls"
+)
+
+// deployRATLS builds an incremental-SGX network admitting relays by
+// RA-TLS certificate instead of per-admission challenge/response.
+func deployRATLS(t *testing.T) *TorNet {
+	t.Helper()
+	tn, err := Deploy(NetworkConfig{
+		Mode: ModeSGXORs, Authorities: 2, Relays: 2, Exits: 1,
+		Seed: 1, RATLS: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+// TestRATLSDeployEndToEnd: a certificate-admitted network still carries
+// circuits, every relay enters the consensus, and admissions are cold
+// (first sight of each certificate).
+func TestRATLSDeployEndToEnd(t *testing.T) {
+	tn := deployRATLS(t)
+	resp, _ := fetchThroughCircuit(t, tn, 7)
+	if string(resp) != "content:GET /index" {
+		t.Fatalf("response %q", resp)
+	}
+	cons := Consensus(tn.Auths)
+	if len(cons) != 3 {
+		t.Fatalf("consensus has %d relays, want 3", len(cons))
+	}
+	for _, a := range tn.Auths {
+		if a.CertAdmissions != 3 {
+			t.Fatalf("%s counted %d certificate admissions, want 3", a.Name, a.CertAdmissions)
+		}
+		st := a.RATLSStats()
+		if st.Cold != 3 || st.Warm != 0 || st.Rejects != 0 {
+			t.Fatalf("%s stats %+v, want 3 cold / 0 warm / 0 rejects", a.Name, st)
+		}
+	}
+}
+
+// TestRATLSReadmissionIsWarm: presenting the same certificate again —
+// reconnect, periodic re-scan — hits the cache instead of re-running
+// both signature verifications.
+func TestRATLSReadmissionIsWarm(t *testing.T) {
+	tn := deployRATLS(t)
+	a, o := tn.Auths[0], tn.ORs[0]
+	if err := a.AdmitByCertificate(o.Descriptor(), o.Certificate()); err != nil {
+		t.Fatalf("re-admission: %v", err)
+	}
+	st := a.RATLSStats()
+	if st.Warm != 1 {
+		t.Fatalf("re-admission was not warm: %+v", st)
+	}
+	if st.HitRate() <= 0 {
+		t.Fatalf("hit rate %v after a warm admission", st.HitRate())
+	}
+}
+
+// TestRATLSTamperedBuildRejected: a relay running a non-whitelisted
+// build mints a perfectly genuine certificate — and the policy check
+// still refuses it. Legacy non-SGX relays keep the manual path.
+func TestRATLSTamperedBuildRejected(t *testing.T) {
+	tn := deployRATLS(t)
+	_, err := tn.AddOR(ORConfig{Name: "or-rogue", Exit: true, SGX: true, Version: "9.9"})
+	if err == nil {
+		t.Fatal("tampered build admitted by certificate")
+	}
+	if !errors.Is(err, ratls.ErrRejected) {
+		t.Fatalf("rejection not via ratls.ErrRejected: %v", err)
+	}
+	if !strings.Contains(err.Error(), "not admitted") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+	if _, err := tn.AddOR(ORConfig{Name: "or-legacy", Exit: false, SGX: false}); err != nil {
+		t.Fatalf("legacy relay refused: %v", err)
+	}
+}
+
+// TestRATLSSybilReRegistrationRejected: replaying a relay's certificate
+// under a fresh descriptor name (the Sybil re-registration attack) is
+// refused by the instance-ID table, warm path included.
+func TestRATLSSybilReRegistrationRejected(t *testing.T) {
+	tn := deployRATLS(t)
+	a, o := tn.Auths[0], tn.ORs[0]
+	d := o.Descriptor()
+	d.Name = "or-sybil"
+	err := a.AdmitByCertificate(d, o.Certificate())
+	if !errors.Is(err, ratls.ErrRejected) {
+		t.Fatalf("Sybil re-registration not rejected: %v", err)
+	}
+	if st := a.RATLSStats(); st.Rejects != 1 {
+		t.Fatalf("reject not counted: %+v", st)
+	}
+	// The honest name still re-admits fine afterwards.
+	if err := a.AdmitByCertificate(o.Descriptor(), o.Certificate()); err != nil {
+		t.Fatalf("honest re-admission after Sybil attempt: %v", err)
+	}
+}
+
+// TestRATLSWhitelistRotationRevokes: rotating the authority whitelist
+// bumps the cache epoch — relays admitted under the old policy are
+// fully re-verified and refused if their build fell off the list.
+func TestRATLSWhitelistRotationRevokes(t *testing.T) {
+	tn := deployRATLS(t)
+	a, o := tn.Auths[0], tn.ORs[0]
+	if err := a.SetORWhitelist([]core.Measurement{ORMeasurementForVersionRATLS("2.0")}); err != nil {
+		t.Fatal(err)
+	}
+	err := a.AdmitByCertificate(o.Descriptor(), o.Certificate())
+	if !errors.Is(err, ratls.ErrRejected) {
+		t.Fatalf("revoked build still admitted: %v", err)
+	}
+	// Restoring the whitelist re-admits — cold again (epoch moved on).
+	if err := a.SetORWhitelist([]core.Measurement{HonestORMeasurementRATLS()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AdmitByCertificate(o.Descriptor(), o.Certificate()); err != nil {
+		t.Fatalf("re-admission after restore: %v", err)
+	}
+	if st := a.RATLSStats(); st.Cold < 4 {
+		t.Fatalf("post-rotation admission was not a full re-verification: %+v", st)
+	}
+}

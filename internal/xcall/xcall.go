@@ -354,8 +354,15 @@ func (r *CallRing) Call(fn string, arg []byte) ([]byte, error) {
 	}
 	p := r.enc.Platform().Probe()
 	if v != verdictEnqueue {
+		// Validate-then-charge: the synchronous call runs first, and the
+		// fallback probes fire only if it succeeded — a rejected call must
+		// not leave fallback observations behind.
+		out, err := r.enc.Call(fn, arg)
+		if err != nil {
+			return nil, err
+		}
 		chargeFallback(p, v)
-		return r.enc.Call(fn, arg)
+		return out, nil
 	}
 	chargeSwitchless(r.enc.Meter(), p, drained, parked)
 	return r.enc.SwitchlessCall(fn, arg)
@@ -401,11 +408,19 @@ func (r *OCallRing) OCall(service string, arg []byte) ([]byte, error) {
 	m := r.enc.Meter()
 	p := r.enc.Platform().Probe()
 	if v != verdictEnqueue {
+		// Validate-then-charge: the host service runs first; the
+		// synchronous crossing and the fallback probes are charged only
+		// when it succeeded, so a rejected request costs the enclave
+		// nothing and fires no observations.
+		out, err := r.host.OCall(service, arg)
+		if err != nil {
+			return nil, err
+		}
 		m.ChargeSGX(2) // EEXIT + ERESUME: the synchronous crossing
 		observe(p, core.KindEEXIT, 1)
 		observe(p, core.KindERESUME, 1)
 		chargeFallback(p, v)
-		return r.host.OCall(service, arg)
+		return out, nil
 	}
 	chargeSwitchless(m, p, drained, parked)
 	return r.host.OCall(service, arg)

@@ -3,6 +3,7 @@ package xcall
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"testing"
 
 	"sgxnet/internal/core"
@@ -325,4 +326,82 @@ func ExampleCallRing() {
 	out, _ := r.Call("double", []byte("ab"))
 	fmt.Println(string(out))
 	// Output: abab
+}
+
+// countingProbe tallies observations by kind (concurrency-safe: rings
+// may be driven from multiple goroutines).
+type countingProbe struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+}
+
+func (p *countingProbe) Observe(kind string, n uint64) {
+	p.mu.Lock()
+	p.counts[kind] = p.counts[kind] + n
+	p.mu.Unlock()
+}
+
+func (p *countingProbe) get(kind string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[kind]
+}
+
+// TestCallFallbackFailureFiresNoProbes is the validate-then-charge
+// regression test for CallRing.Call: a fallback whose synchronous call
+// fails must leave no xcall probe observations behind — only successful
+// fallbacks are real crossings worth accounting.
+func TestCallFallbackFailureFiresNoProbes(t *testing.T) {
+	enc := testEnclave(t)
+	probe := &countingProbe{counts: map[string]uint64{}}
+	enc.Platform().SetProbe(probe)
+	r := NewCallRing(enc, Config{Capacity: 8, Batch: 4, SpinBudget: 100})
+
+	// First submission is the doorbell fallback; the unknown entry point
+	// makes the synchronous call fail.
+	if _, err := r.Call("no-such-entry", nil); err == nil {
+		t.Fatal("unknown entry point succeeded")
+	}
+	for _, kind := range []string{KindFallback, KindFallbackFull, KindFallbackParked, KindWake} {
+		if got := probe.get(kind); got != 0 {
+			t.Fatalf("failed fallback fired %s ×%d, want none", kind, got)
+		}
+	}
+
+	// A successful fallback (the ring re-parked after Flush) still fires
+	// them — the control that keeps this test meaningful.
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Call("echo", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if probe.get(KindFallback) != 1 || probe.get(KindFallbackParked) != 1 {
+		t.Fatalf("successful fallback not observed: %+v", probe.counts)
+	}
+}
+
+// TestOCallFallbackFailureChargesNothing: an OCall fallback whose host
+// service fails must charge no synchronous crossing and fire no probes.
+func TestOCallFallbackFailureChargesNothing(t *testing.T) {
+	enc := testEnclave(t)
+	probe := &countingProbe{counts: map[string]uint64{}}
+	enc.Platform().SetProbe(probe)
+	refuse := core.HostFunc(func(service string, arg []byte) ([]byte, error) {
+		return nil, fmt.Errorf("host refuses %q", service)
+	})
+	r := NewOCallRing(enc, refuse, Config{Capacity: 8, Batch: 4, SpinBudget: 100})
+	enc.Meter().Reset()
+
+	if _, err := r.OCall("svc", nil); err == nil {
+		t.Fatal("refusing host succeeded")
+	}
+	if tal := enc.Meter().Snapshot(); tal.SGXU != 0 || tal.Normal != 0 {
+		t.Fatalf("failed OCall fallback charged %+v, want zero", tal)
+	}
+	for _, kind := range []string{KindFallback, KindFallbackParked, core.KindEEXIT, core.KindERESUME} {
+		if got := probe.get(kind); got != 0 {
+			t.Fatalf("failed OCall fallback fired %s ×%d, want none", kind, got)
+		}
+	}
 }
