@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands directly.
 
-.PHONY: build test race bench bench-smoke bench-gate tables trace series ratls
+.PHONY: build test race bench bench-smoke bench-gate tables trace series ratls chain
 
 build:
 	go build ./...
@@ -21,13 +21,13 @@ bench:
 bench-smoke:
 	go test -run '^$$' -bench=. -benchtime=1x ./...
 
-# bench-gate runs the five headline benchmarks fresh and fails if any
+# bench-gate runs the six headline benchmarks fresh and fails if any
 # regressed past 25% of the committed BENCH_baseline.json. Run on the
 # same class of machine as the baseline; CI uses a wider threshold
-# because two of the five metrics are wall-clock.
+# because two of the six metrics are wall-clock.
 bench-gate:
 	go run ./cmd/benchjson -out /tmp/bench-gate.json -benchtime 1x \
-		-pattern 'FullSweep|ScaleSweep|LoadSweep|XcallSweep|RATLSSweep'
+		-pattern 'FullSweep|ScaleSweep|LoadSweep|XcallSweep|RATLSSweep|ChainSweep'
 	go run ./cmd/benchjson -gate -results /tmp/bench-gate.json
 
 tables:
@@ -46,6 +46,13 @@ trace:
 ratls:
 	go test ./cmd/sgxnet-tables -run 'TestGolden$$|TestRATLSSweepWorkersEquivalence' -v
 	go test -race ./internal/ratls -v
+
+# chain runs the trusted NF-chain acceptance gates: the -chain-sweep
+# golden transcript, its workers-1-vs-8 byte-equivalence, and the
+# nfchain package (stages, rule engine, admission) under -race.
+chain:
+	go test ./cmd/sgxnet-tables -run 'TestGolden$$|TestChainSweepWorkersEquivalence' -v
+	go test -race ./internal/nfchain -v
 
 # series records the windowed time-series export of the load sweep and
 # runs the analyzer over it: top movers, monotone-growth gauges, and the

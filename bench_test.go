@@ -335,6 +335,46 @@ func BenchmarkRATLSSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkChainSweep regenerates the trusted NF-chain sweep at worker
+// counts 1 and GOMAXPROCS, and reports the worst SGX/native per-hop
+// cycle ratio at batch 64 as a custom metric — the composition tax the
+// chain-sweep acceptance bar bounds. A regression here means either the
+// xcall amortization or the in-enclave rule engine got more expensive
+// relative to the native pipeline.
+func BenchmarkChainSweep(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := eval.NewRunner(workers)
+			b.ReportAllocs()
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				pts, err := r.ChainSweep()
+				if err != nil {
+					b.Fatal(err)
+				}
+				native := map[[2]int]uint64{}
+				for _, p := range pts {
+					if p.Mode == "native" {
+						native[[2]int{p.Depth, p.Rules}] = p.PerHop
+					}
+				}
+				worst = 0
+				for _, p := range pts {
+					if p.Mode != "sgx" || p.Batch != 64 {
+						continue
+					}
+					if n := native[[2]int{p.Depth, p.Rules}]; n > 0 {
+						if ratio := float64(p.PerHop) / float64(n); ratio > worst {
+							worst = ratio
+						}
+					}
+				}
+			}
+			b.ReportMetric(worst, "worst-sgx/native-hop-ratio")
+		})
+	}
+}
+
 // BenchmarkAblationBatching sweeps enclave I/O batch sizes.
 func BenchmarkAblationBatching(b *testing.B) {
 	b.ReportAllocs()

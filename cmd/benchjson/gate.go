@@ -16,12 +16,13 @@ import (
 // decides how the "current" file was produced (make bench locally, a
 // fresh benchjson run in CI).
 //
-// Two of the five gated metrics (FullSweep wall time, ScaleSweep
-// events/sec) are wall-clock and move with the machine; the other three
+// Two of the six gated metrics (FullSweep wall time, ScaleSweep
+// events/sec) are wall-clock and move with the machine; the other four
 // (LoadSweep worst p999/p50, XcallSweep min speedup, RATLSSweep worst
-// warm/cold ratio) are ratios of virtual-cycle quantities and are
-// deterministic. CI therefore runs the gate with a wider -max-regress
-// than the local default.
+// warm/cold ratio, ChainSweep worst per-hop sgx/native overhead) are
+// ratios of virtual-cycle quantities and are deterministic. CI
+// therefore runs the gate with a wider -max-regress than the local
+// default.
 
 // gateMetric names one headline metric: which benchmark it lives on,
 // which reported unit carries it (empty = ns/op), and which direction is
@@ -46,6 +47,8 @@ var gateMetrics = []gateMetric{
 		"xcall min batching speedup"},
 	{"BenchmarkRATLSSweep/workers=1", "worst-warm/cold-ratio", false,
 		"ratls worst warm/cold amortization"},
+	{"BenchmarkChainSweep/workers=1", "worst-sgx/native-hop-ratio", false,
+		"chain worst per-hop sgx/native overhead"},
 }
 
 // gateRow is one evaluated metric.

@@ -6,11 +6,12 @@ import (
 	"testing"
 )
 
-// report builds a minimal Report carrying the five gated metrics, with
+// report builds a minimal Report carrying the six gated metrics, with
 // multipliers applied to each so tests can dial regressions in
 // per-metric. Order: fullsweep ns/op, scalesweep events/sec, loadsweep
-// p999/p50, xcall min speedup, ratls warm/cold ratio.
-func report(suffix string, mul [5]float64) *Report {
+// p999/p50, xcall min speedup, ratls warm/cold ratio, chain per-hop
+// sgx/native ratio.
+func report(suffix string, mul [6]float64) *Report {
 	return &Report{Results: []Result{
 		{Name: "BenchmarkFullSweep/workers=1" + suffix, NsPerOp: 1e9 * mul[0]},
 		// A same-benchmark sibling the matcher must not confuse with the
@@ -25,6 +26,8 @@ func report(suffix string, mul [5]float64) *Report {
 			Metrics: map[string]float64{"min-speedup-x": 2 * mul[3]}},
 		{Name: "BenchmarkRATLSSweep/workers=1" + suffix, NsPerOp: 5e9,
 			Metrics: map[string]float64{"worst-warm/cold-ratio": 0.002 * mul[4]}},
+		{Name: "BenchmarkChainSweep/workers=1" + suffix, NsPerOp: 6e9,
+			Metrics: map[string]float64{"worst-sgx/native-hop-ratio": 1.0 * mul[5]}},
 	}}
 }
 
@@ -39,7 +42,7 @@ func failures(rows []gateRow) int {
 }
 
 func TestGateIdenticalPasses(t *testing.T) {
-	one := [5]float64{1, 1, 1, 1, 1}
+	one := [6]float64{1, 1, 1, 1, 1, 1}
 	rows := evalGate(report("", one), report("", one), 0.25)
 	if len(rows) != len(gateMetrics) {
 		t.Fatalf("got %d rows, want %d", len(rows), len(gateMetrics))
@@ -53,11 +56,11 @@ func TestGateIdenticalPasses(t *testing.T) {
 // the bad direction fails, and the same-magnitude change in the good
 // direction passes — the gate must know which way is up.
 func TestGateDirections(t *testing.T) {
-	one := [5]float64{1, 1, 1, 1, 1}
+	one := [6]float64{1, 1, 1, 1, 1, 1}
 	base := report("", one)
 	// worse: slower wall, lower throughput, fatter tail, less speedup
-	worse := [5]float64{1.5, 0.5, 1.5, 0.5, 1.5}
-	better := [5]float64{0.5, 1.5, 0.5, 1.5, 0.5}
+	worse := [6]float64{1.5, 0.5, 1.5, 0.5, 1.5, 1.5}
+	better := [6]float64{0.5, 1.5, 0.5, 1.5, 0.5, 0.5}
 	for i, g := range gateMetrics {
 		mul := one
 		mul[i] = worse[i]
@@ -76,14 +79,14 @@ func TestGateDirections(t *testing.T) {
 }
 
 func TestGateThresholdBoundary(t *testing.T) {
-	one := [5]float64{1, 1, 1, 1, 1}
+	one := [6]float64{1, 1, 1, 1, 1, 1}
 	base := report("", one)
 	// Exactly at the threshold passes (> not >=), just past it fails.
-	at := evalGate(base, report("", [5]float64{1.25, 1, 1, 1, 1}), 0.25)
+	at := evalGate(base, report("", [6]float64{1.25, 1, 1, 1, 1, 1}), 0.25)
 	if at[0].failed {
 		t.Fatalf("regression exactly at threshold should pass, got regress %.4f", at[0].regress)
 	}
-	past := evalGate(base, report("", [5]float64{1.26, 1, 1, 1, 1}), 0.25)
+	past := evalGate(base, report("", [6]float64{1.26, 1, 1, 1, 1, 1}), 0.25)
 	if !past[0].failed {
 		t.Fatalf("regression past threshold should fail, got regress %.4f", past[0].regress)
 	}
@@ -93,7 +96,7 @@ func TestGateThresholdBoundary(t *testing.T) {
 // GOMAXPROCS suffixes the single-core baseline lacks; matching is by
 // logical name.
 func TestGateMultiCoreSuffix(t *testing.T) {
-	one := [5]float64{1, 1, 1, 1, 1}
+	one := [6]float64{1, 1, 1, 1, 1, 1}
 	rows := evalGate(report("", one), report("-8", one), 0.25)
 	if n := failures(rows); n != 0 {
 		t.Fatalf("suffix mismatch broke matching: %+v", rows)
@@ -103,7 +106,7 @@ func TestGateMultiCoreSuffix(t *testing.T) {
 // TestGateMissingBenchmarkFails: a vanished benchmark must read as a
 // gate failure, not as "no regression".
 func TestGateMissingBenchmarkFails(t *testing.T) {
-	one := [5]float64{1, 1, 1, 1, 1}
+	one := [6]float64{1, 1, 1, 1, 1, 1}
 	cur := report("", one)
 	cur.Results = cur.Results[1:] // drop FullSweep
 	rows := evalGate(report("", one), cur, 0.25)
@@ -124,7 +127,7 @@ func TestGateMissingBenchmarkFails(t *testing.T) {
 // the insidious case — it poisons the regression ratio into comparisons
 // that are all false, which the old gate read as "pass".
 func TestGateUnusableValueFails(t *testing.T) {
-	one := [5]float64{1, 1, 1, 1, 1}
+	one := [6]float64{1, 1, 1, 1, 1, 1}
 	for _, v := range []float64{0, math.NaN(), math.Inf(1), math.Inf(-1)} {
 		base := report("", one)
 		base.Results[2].Metrics["events/sec"] = v

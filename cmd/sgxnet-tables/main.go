@@ -12,6 +12,7 @@
 //	sgxnet-tables -load-sweep      # open-loop load sweep (latency percentiles)
 //	sgxnet-tables -scale-sweep     # discrete-event scale sweep (thousands of hosts)
 //	sgxnet-tables -ratls-sweep     # attested-channel sweep (cold vs warm quote verification)
+//	sgxnet-tables -chain-sweep     # trusted NF-chain sweep (depth x batch x rule-set size)
 //	sgxnet-tables -faults          # fault-tolerance sweep (wall-clock sensitive)
 //	sgxnet-tables -workers 8       # evaluation-engine parallelism (0 = GOMAXPROCS)
 //	sgxnet-tables -trace out.trace # also record a deterministic trace (JSONL)
@@ -48,6 +49,7 @@ type options struct {
 	loadSweep    bool
 	scaleSweep   bool
 	ratlsSweep   bool
+	chainSweep   bool
 	faults       bool
 	csv          bool
 	workers      int    // evaluation-engine parallelism; 0 = GOMAXPROCS
@@ -62,7 +64,7 @@ type options struct {
 // sweep races real timeouts against goroutine scheduling, so its numbers
 // are not byte-reproducible; it only runs on request.
 func (o options) all() bool {
-	return o.table == 0 && o.fig == 0 && !o.ablations && !o.epcSweep && !o.xcallSweep && !o.loadSweep && !o.scaleSweep && !o.ratlsSweep && !o.faults
+	return o.table == 0 && o.fig == 0 && !o.ablations && !o.epcSweep && !o.xcallSweep && !o.loadSweep && !o.scaleSweep && !o.ratlsSweep && !o.chainSweep && !o.faults
 }
 
 // emit writes the selected sections. Each section is an independent
@@ -224,6 +226,16 @@ func emit(w io.Writer, o options) error {
 			return nil
 		}))
 	}
+	if o.chainSweep || o.all() {
+		sections = append(sections, section("chain sweep", func(w io.Writer) error {
+			pts, err := r.ChainSweep()
+			if err != nil {
+				return err
+			}
+			eval.RenderChainSweep(w, pts)
+			return nil
+		}))
+	}
 	if o.faults {
 		sections = append(sections, func() ([]byte, error) {
 			fpts, err := r.FaultTolerance(nil, 0)
@@ -311,6 +323,7 @@ func main() {
 	flag.BoolVar(&o.loadSweep, "load-sweep", false, "run only the open-loop load sweep (latency percentiles under seeded arrivals)")
 	flag.BoolVar(&o.scaleSweep, "scale-sweep", false, "run only the discrete-event scale sweep (thousands of ASes/relays, millions of flows on the event kernel)")
 	flag.BoolVar(&o.ratlsSweep, "ratls-sweep", false, "run only the attested-channel sweep (cold vs warm RA-TLS quote verification across client counts)")
+	flag.BoolVar(&o.chainSweep, "chain-sweep", false, "run only the trusted NF-chain sweep (pipeline depth x xcall batch x rule-set size, native vs SGX)")
 	flag.BoolVar(&o.faults, "faults", false, "run the fault-tolerance sweep (timing-dependent, excluded from -ablations and the default run)")
 	flag.BoolVar(&o.csv, "csv", false, "emit Figure 3 as CSV (for plotting) instead of the text chart")
 	flag.IntVar(&o.workers, "workers", 0, "evaluation-engine worker pool size; 0 = GOMAXPROCS, 1 = serial")

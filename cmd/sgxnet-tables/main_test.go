@@ -29,6 +29,7 @@ var goldenCases = []struct {
 	{"load-sweep", options{loadSweep: true}},
 	{"scale-sweep", options{scaleSweep: true}},
 	{"ratls-sweep", options{ratlsSweep: true}},
+	{"chain-sweep", options{chainSweep: true}},
 }
 
 func golden(name string) string { return filepath.Join("testdata", name+".golden") }
@@ -74,7 +75,7 @@ func TestGolden(t *testing.T) {
 			golden("all"), b.Bytes(), all)
 	}
 	var concat []byte
-	for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "ablations", "epc-sweep", "xcall-sweep", "load-sweep", "scale-sweep", "ratls-sweep"} {
+	for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "ablations", "epc-sweep", "xcall-sweep", "load-sweep", "scale-sweep", "ratls-sweep", "chain-sweep"} {
 		sec, err := os.ReadFile(golden(name))
 		if err != nil {
 			t.Fatalf("missing golden (rerun with -update): %v", err)
@@ -221,6 +222,29 @@ func TestRATLSSweepWorkersEquivalence(t *testing.T) {
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
 		t.Errorf("-ratls-sweep at -workers 8 diverges from -workers 1\nserial:\n%s\nparallel:\n%s",
+			serial.Bytes(), parallel.Bytes())
+	}
+}
+
+// TestChainSweepWorkersEquivalence is the acceptance gate for the
+// trusted NF-chain sweep: its transcript — hop counts, routing
+// outcomes, per-hop crossing costs, rule-engine shares — must be
+// byte-identical at -workers 1 and -workers 8. Each SGX cell builds a
+// private network, platform, and verifier, so nothing a worker does can
+// show through another cell's tallies.
+func TestChainSweepWorkersEquivalence(t *testing.T) {
+	if *update {
+		t.Skip("goldens being rewritten")
+	}
+	var serial, parallel bytes.Buffer
+	if err := emit(&serial, options{chainSweep: true, workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := emit(&parallel, options{chainSweep: true, workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("-chain-sweep at -workers 8 diverges from -workers 1\nserial:\n%s\nparallel:\n%s",
 			serial.Bytes(), parallel.Bytes())
 	}
 }

@@ -3,6 +3,13 @@
 // middlebox enclave and provisions its session keys, after which the
 // enclave performs DPI with cryptographic assurance about what code does
 // the inspecting.
+//
+// This is the single-function case. internal/nfchain (DESIGN.md §16)
+// generalizes it into composable chains of enclave-hosted stages —
+// classify, filter, DPI, NAT, re-encrypt — routed by an in-enclave rule
+// table with hop admission amortized over one RA-TLS verifier; run
+// `sgxnet-tables -chain-sweep` for the depth × batch × rule-set-size
+// economics of chaining.
 package main
 
 import (

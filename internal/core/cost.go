@@ -222,6 +222,38 @@ const (
 	// checks (~2×CostSigVerify) collapse to this, which is what makes N
 	// connections from the same attested peer cost ~1 verification.
 	CostQuoteCacheLookup = 6_000
+
+	// --- Trusted NF chains (DESIGN.md §16) ---
+	//
+	// Chained network functions evaluate a routing rule table at every
+	// hop, so rule-engine work scales with (rules × hops × packets) and
+	// competes directly with the enclave-crossing tax that batching
+	// amortizes. The per-stage costs below model the non-crypto part of
+	// each stage body; crypto-bearing stages (DPI decrypt, re-encrypt)
+	// additionally pay the tlslite/sgxcrypto costs they invoke.
+
+	// CostRuleEval is charged per rule examined by the in-enclave rule
+	// engine: the scope check, field comparisons against the packet's
+	// flow tuple and tag, and the walk to the next entry. A linear table
+	// of R rules costs up to R of these per packet per hop.
+	CostRuleEval = 400
+
+	// CostChainClassify is one classification pass over a packet's
+	// headers: protocol/port demux and the tag write.
+	CostChainClassify = 600
+
+	// CostChainFilter is one header-filter pass: deny-list membership
+	// probe on the destination port plus the tag write on a hit.
+	CostChainFilter = 300
+
+	// CostChainScanPerByte is the DPI stage's per-byte pattern-match
+	// cost over the recovered plaintext (the automaton step, not the
+	// record decryption — that charges tlslite's own costs).
+	CostChainScanPerByte = 10
+
+	// CostChainRewritePerByte is the transform stage's per-byte cost of
+	// copying a packet through the header-rewrite path.
+	CostChainRewritePerByte = 2
 )
 
 // MTUBytes is the packet size used throughout the I/O evaluation.

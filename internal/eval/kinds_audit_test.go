@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sgxnet/internal/core"
+	"sgxnet/internal/nfchain"
 	"sgxnet/internal/obs"
 	"sgxnet/internal/ratls"
 	"sgxnet/internal/xcall"
@@ -39,6 +40,9 @@ func TestProbeKindAudit(t *testing.T) {
 	if _, err := ratlsSweepPoint(tr, nil, "sgx", 2, 1_000); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := chainSweepPoint(tr, nil, "sgx", 2, 16, 16); err != nil {
+		t.Fatal(err)
+	}
 
 	if unknown := reg.UnknownKinds(); len(unknown) > 0 {
 		t.Fatalf("probe kinds fired without a RegisterKind doc string:\n  %s",
@@ -50,6 +54,9 @@ func TestProbeKindAudit(t *testing.T) {
 	for _, family := range []string{
 		core.KindEENTER, core.KindPagerFault, xcall.KindCall, "record.seal",
 		ratls.KindVerifyCold, ratls.KindVerifyWarm,
+		nfchain.KindProcess, nfchain.KindRuleExamined, nfchain.KindRuleMatch,
+		nfchain.KindForward, nfchain.KindMirror, nfchain.KindDrop,
+		nfchain.KindTerminate, nfchain.KindAlert, nfchain.KindAdmit,
 	} {
 		if reg.Get(family) == 0 {
 			t.Errorf("audit workload never fired %s — coverage shrank, the empty unknown set proves nothing about that family", family)

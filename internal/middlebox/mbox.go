@@ -8,6 +8,7 @@ import (
 	"sgxnet/internal/attest"
 	"sgxnet/internal/core"
 	"sgxnet/internal/netsim"
+	"sgxnet/internal/sgxcrypto"
 	"sgxnet/internal/tlslite"
 )
 
@@ -146,6 +147,14 @@ func mboxProgram(st *mboxState, version string, patterns []string) *core.Program
 					return nil, fmt.Errorf("middlebox: short provision arg")
 				}
 				party := string(arg[5 : 5+nameLen])
+				// A key block has exactly one valid sealed length;
+				// checking it before Open keeps a wrong-sized blob —
+				// even one with an authentic MAC — from charging for
+				// decryption it can never put to use.
+				if len(arg[5+nameLen:]) != tlslite.KeysLen+sgxcrypto.Overhead {
+					return nil, fmt.Errorf("middlebox: sealed key block is %d bytes, want %d",
+						len(arg[5+nameLen:]), tlslite.KeysLen+sgxcrypto.Overhead)
+				}
 				plain, err := st.attest.Open(env.Meter(), cid, arg[5+nameLen:])
 				if err != nil {
 					return nil, fmt.Errorf("middlebox: opening key block: %w", err)

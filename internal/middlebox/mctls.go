@@ -127,6 +127,14 @@ func (b *MCTLSBox) acceptKeys(m *core.Meter, from string, sealed []byte) error {
 	if ch == nil {
 		return fmt.Errorf("middlebox: mcTLS box %s has no channel with %s", b.Name, from)
 	}
+	// Validate-then-charge: the only valid payload is a Marshal'd key
+	// block, so a wrong-sized ciphertext is rejected before the metered
+	// MAC/decrypt work — an authentic-looking blob of the wrong length
+	// must cost the box nothing.
+	if len(sealed) != tlslite.KeysLen+sgxcrypto.Overhead {
+		return fmt.Errorf("middlebox: mcTLS sealed key block is %d bytes, want %d",
+			len(sealed), tlslite.KeysLen+sgxcrypto.Overhead)
+	}
 	plain, err := ch.Open(m, sealed)
 	if err != nil {
 		return err

@@ -1,0 +1,46 @@
+package nfchain
+
+import "sgxnet/internal/obs"
+
+// Chain probe kinds, fired once per event at each hop (enclave-hosted
+// chains fire them from inside the chain.proc/chain.admit handlers;
+// native chains from the driver).
+const (
+	// KindProcess is one stage invocation on one packet.
+	KindProcess = "chain.process"
+	// KindRuleExamined counts rules the in-enclave engine walked (each
+	// charging CostRuleEval); reported with n = rules examined.
+	KindRuleExamined = "chain.rule.examined"
+	// KindRuleMatch is a rule firing (first match wins).
+	KindRuleMatch = "chain.rule.match"
+	// KindForward is a packet handed to a later stage (explicit rule or
+	// fallthrough).
+	KindForward = "chain.forward"
+	// KindMirror is a packet copied to a later stage while the original
+	// continues in order.
+	KindMirror = "chain.mirror"
+	// KindDrop is a packet discarded by a drop rule.
+	KindDrop = "chain.drop"
+	// KindTerminate is a packet leaving the chain on the egress path.
+	KindTerminate = "chain.terminate"
+	// KindAlert is a DPI stage tagging a packet as malware.
+	KindAlert = "chain.alert"
+	// KindAdmit is one hop admitting the chain head's RA-TLS
+	// certificate (cold on the first hop, warm on the rest).
+	KindAdmit = "chain.admit"
+)
+
+// Register the chain's probe kinds so a strict obs.Registry can vouch
+// that every kind this package fires is documented (obs never imports
+// nfchain, so the import is cycle-free).
+func init() {
+	obs.RegisterKind(KindProcess, "NF chain stage processed one packet")
+	obs.RegisterKind(KindRuleExamined, "NF chain rules examined by the rule engine")
+	obs.RegisterKind(KindRuleMatch, "NF chain rule matched (first match wins)")
+	obs.RegisterKind(KindForward, "NF chain packet forwarded to a later stage")
+	obs.RegisterKind(KindMirror, "NF chain packet mirrored to a later stage")
+	obs.RegisterKind(KindDrop, "NF chain packet dropped by rule")
+	obs.RegisterKind(KindTerminate, "NF chain packet emitted on chain egress")
+	obs.RegisterKind(KindAlert, "NF chain DPI stage raised a malware alert")
+	obs.RegisterKind(KindAdmit, "NF chain hop admitted the chain-head certificate")
+}

@@ -1,0 +1,118 @@
+// Package nfchain generalizes internal/middlebox from one hard-wired
+// TLS-inspection box into composable enclave-hosted network-function
+// pipeline stages (classify, header-filter, DPI, transform, re-encrypt)
+// routed by a strict in-enclave rule engine. Inter-hop handoff rides
+// xcall rings, egress rides the batched netsim.IOShim, and hop admission
+// is gated by RA-TLS certificates through one shared ratls.Verifier per
+// chain (1 cold verification + N−1 warm cache hits). DESIGN.md §16.
+package nfchain
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Tag is the classification label a stage attaches to a packet. Tags are
+// a closed enum so the rule grammar can reject unknown names at parse
+// time instead of silently never matching.
+type Tag uint8
+
+const (
+	TagOther Tag = iota
+	TagHTTP
+	TagTLS
+	TagDNS
+	TagBlocked
+	TagMalware
+
+	tagCount
+)
+
+var tagNames = [tagCount]string{"other", "http", "tls", "dns", "blocked", "malware"}
+
+func (t Tag) String() string {
+	if int(t) < len(tagNames) {
+		return tagNames[t]
+	}
+	return fmt.Sprintf("tag(%d)", uint8(t))
+}
+
+// ParseTag resolves a grammar tag name; ok is false for unknown names.
+func ParseTag(s string) (Tag, bool) {
+	for i, n := range tagNames {
+		if n == s {
+			return Tag(i), true
+		}
+	}
+	return 0, false
+}
+
+// Packet is the unit of work a chain processes: a flow-tuple header plus
+// an opaque payload (for crypto-bearing stages, a tlslite record).
+type Packet struct {
+	Flow    uint32 // flow identifier (stands in for the 5-tuple hash)
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8 // IP protocol number (6 = TCP, 17 = UDP)
+	Tag     Tag
+	Payload []byte
+}
+
+// packetHeaderLen is the fixed wire header:
+// flow(4) ‖ src(2) ‖ dst(2) ‖ proto(1) ‖ tag(1) ‖ payloadLen(4).
+const packetHeaderLen = 14
+
+// MaxPayload bounds the payload length a stage will accept; anything
+// larger is rejected before a single cycle is charged.
+const MaxPayload = 64 * 1024
+
+// AppendPacket appends p's wire encoding to dst and returns the result.
+func AppendPacket(dst []byte, p *Packet) []byte {
+	var hdr [packetHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], p.Flow)
+	binary.LittleEndian.PutUint16(hdr[4:], p.SrcPort)
+	binary.LittleEndian.PutUint16(hdr[6:], p.DstPort)
+	hdr[8] = p.Proto
+	hdr[9] = byte(p.Tag)
+	binary.LittleEndian.PutUint32(hdr[10:], uint32(len(p.Payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, p.Payload...)
+}
+
+// Marshal returns p's wire encoding.
+func (p *Packet) Marshal() []byte {
+	return AppendPacket(make([]byte, 0, packetHeaderLen+len(p.Payload)), p)
+}
+
+// UnmarshalPacket strictly decodes one packet: the buffer must be exactly
+// header+payloadLen bytes, the tag must be a known enum value, and the
+// declared payload length must be within MaxPayload. This runs inside
+// the enclave before any metered work, so a malformed packet is rejected
+// for free (validate-then-charge).
+func UnmarshalPacket(b []byte) (Packet, error) {
+	if len(b) < packetHeaderLen {
+		return Packet{}, fmt.Errorf("nfchain: packet too short (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b[10:])
+	if n > MaxPayload {
+		return Packet{}, fmt.Errorf("nfchain: payload length %d exceeds max %d", n, MaxPayload)
+	}
+	if uint32(len(b)-packetHeaderLen) != n {
+		return Packet{}, fmt.Errorf("nfchain: payload length %d does not match remaining %d bytes",
+			n, len(b)-packetHeaderLen)
+	}
+	if b[9] >= uint8(tagCount) {
+		return Packet{}, fmt.Errorf("nfchain: unknown tag %d", b[9])
+	}
+	p := Packet{
+		Flow:    binary.LittleEndian.Uint32(b[0:]),
+		SrcPort: binary.LittleEndian.Uint16(b[4:]),
+		DstPort: binary.LittleEndian.Uint16(b[6:]),
+		Proto:   b[8],
+		Tag:     Tag(b[9]),
+	}
+	if n > 0 {
+		p.Payload = append([]byte(nil), b[packetHeaderLen:]...)
+	}
+	return p, nil
+}

@@ -47,9 +47,15 @@ type Keys struct {
 	MacS2C [32]byte
 }
 
+// KeysLen is the exact Marshal length of a key block. Receivers of a
+// sealed key block can (and must) check the ciphertext length against
+// KeysLen+sgxcrypto.Overhead before any metered decryption, so a
+// wrong-sized blob is rejected for free (validate-then-charge).
+const KeysLen = 96
+
 // Marshal serializes the key block.
 func (k *Keys) Marshal() []byte {
-	out := make([]byte, 0, 96)
+	out := make([]byte, 0, KeysLen)
 	out = append(out, k.EncC2S[:]...)
 	out = append(out, k.EncS2C[:]...)
 	out = append(out, k.MacC2S[:]...)
@@ -59,7 +65,7 @@ func (k *Keys) Marshal() []byte {
 
 // UnmarshalKeys parses a key block.
 func UnmarshalKeys(b []byte) (Keys, bool) {
-	if len(b) != 96 {
+	if len(b) != KeysLen {
 		return Keys{}, false
 	}
 	var k Keys
